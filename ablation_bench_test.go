@@ -1,0 +1,172 @@
+package disagg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/cxl"
+	"github.com/disagglab/disagg/internal/index/bptree"
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Ablation benchmarks: each sub-benchmark reports simulated nanoseconds
+// per operation (ns/op here is wall time of the simulator; the interesting
+// number is sim-ns/op, reported as a custom metric) for one design choice
+// the experiments rely on.
+
+// reportSim attaches the simulated per-op latency as a benchmark metric.
+func reportSim(b *testing.B, c *sim.Clock, ops int) {
+	if ops > 0 {
+		b.ReportMetric(float64(c.Now().Nanoseconds())/float64(ops), "sim-ns/op")
+	}
+}
+
+// BenchmarkAblationShermanOptions sweeps the Sherman optimization matrix
+// (the E11b ablation): each flag should reduce simulated latency.
+func BenchmarkAblationShermanOptions(b *testing.B) {
+	cases := []struct {
+		name string
+		opt  bptree.Options
+	}{
+		{"naive", bptree.Naive()},
+		{"optimistic-reads", bptree.Options{OptimisticReads: true}},
+		{"batched-writes", bptree.Options{BatchedWrites: true}},
+		{"onchip-locks", bptree.Options{OnChipLocks: true}},
+		{"sherman-full", bptree.Sherman()},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			pool := memnode.New(cfg, "m0", 1<<30)
+			tr, err := bptree.New(cfg, pool, tc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := tr.Attach(1, nil)
+			c := sim.NewClock()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					cl.Put(c, uint64(i)+1, uint64(i))
+				} else {
+					cl.Get(c, uint64(i))
+				}
+			}
+			reportSim(b, c, b.N)
+		})
+	}
+}
+
+// BenchmarkAblationDoorbellBatch compares N individual RDMA writes with
+// one doorbell batch of N.
+func BenchmarkAblationDoorbellBatch(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		cfg := sim.DefaultConfig()
+		node := rdma.NewNode(cfg, "m0", 1<<20)
+		data := make([]byte, 64)
+		b.Run(fmt.Sprintf("individual-%d", n), func(b *testing.B) {
+			qp := rdma.Connect(cfg, node, nil)
+			c := sim.NewClock()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					qp.Write(c, uint64(j*64), data)
+				}
+			}
+			reportSim(b, c, b.N)
+		})
+		b.Run(fmt.Sprintf("batched-%d", n), func(b *testing.B) {
+			qp := rdma.Connect(cfg, node, nil)
+			ops := make([]rdma.WriteOp, n)
+			for j := range ops {
+				ops[j] = rdma.WriteOp{Addr: uint64(j * 64), Data: data}
+			}
+			c := sim.NewClock()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qp.WriteBatch(c, ops)
+			}
+			reportSim(b, c, b.N)
+		})
+	}
+}
+
+// BenchmarkAblationSpillTarget sweeps the E12b spill-target choice on a
+// budgeted hash join.
+func BenchmarkAblationSpillTarget(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	build := query.NewTable("bk", "bv")
+	for k := 0; k < 10_000; k++ {
+		build.AppendRow(int64(k), int64(k))
+	}
+	probe := query.NewTable("pk")
+	for k := 0; k < 20_000; k++ {
+		probe.AppendRow(int64(k % 10_000))
+	}
+	for _, target := range []query.SpillTarget{query.SpillNone, query.SpillRemote, query.SpillSSD} {
+		b.Run(target.String(), func(b *testing.B) {
+			c := sim.NewClock()
+			for i := 0; i < b.N; i++ {
+				bScan, _ := query.NewScan(cfg, query.NewLocalSource(cfg, build), []string{"bk", "bv"}, nil, false)
+				pScan, _ := query.NewScan(cfg, query.NewLocalSource(cfg, probe), []string{"pk"}, nil, false)
+				budget := query.NewMemoryBudget(cfg, 32<<10, target)
+				join := query.NewHashJoin(cfg, bScan, pScan, "bk", "pk", budget)
+				if _, err := query.Collect(c, join); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSim(b, c, b.N)
+		})
+	}
+}
+
+// BenchmarkAblationCXLAccessPattern shows why prefetch-friendliness is the
+// E17 pivot: the same bytes cost ~10x more when touched line by line.
+func BenchmarkAblationCXLAccessPattern(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	dev := cxl.NewDevice(cfg, 1<<20)
+	buf := make([]byte, 64<<10)
+	b.Run("sequential-prefetched", func(b *testing.B) {
+		c := sim.NewClock()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dev.LoadSeq(c, 0, buf)
+		}
+		reportSim(b, c, b.N)
+	})
+	b.Run("random-per-line", func(b *testing.B) {
+		c := sim.NewClock()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dev.Load(c, 0, buf)
+		}
+		reportSim(b, c, b.N)
+	})
+}
+
+// BenchmarkAblationZoneMapPruning isolates the E5 design choice.
+func BenchmarkAblationZoneMapPruning(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	tbl := query.NewTable("k", "v")
+	for i := 0; i < 20*query.BlockRows; i++ {
+		tbl.AppendRow(int64(i), int64(i*2))
+	}
+	src := query.NewLocalSource(cfg, tbl)
+	pred := []query.Predicate{{Col: "k", Lo: 100, Hi: 200}}
+	for _, prune := range []bool{true, false} {
+		b.Run(fmt.Sprintf("prune=%v", prune), func(b *testing.B) {
+			c := sim.NewClock()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scan, _ := query.NewScan(cfg, src, []string{"v"}, pred, prune)
+				if _, err := query.Collect(c, scan); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSim(b, c, b.N)
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Package disagg_test holds the top-level benchmark harness: one testing.B
+// benchmark per experiment (regenerating every table/figure of
+// EXPERIMENTS.md; reported wall time is the cost of simulating the
+// experiment), plus micro-benchmarks of the hot substrate operations so
+// per-op simulation overheads are visible.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package disagg_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/aurora"
+	"github.com/disagglab/disagg/internal/engine/monolithic"
+	"github.com/disagglab/disagg/internal/harness"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/index/bptree"
+	"github.com/disagglab/disagg/internal/index/lsm"
+	"github.com/disagglab/disagg/internal/index/race"
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/workload"
+)
+
+// benchExperiment runs one registered experiment end to end per iteration
+// and fails the benchmark if any shape check regresses.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := sim.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Run(cfg.Clone(), harness.Quick)
+		if r.Failed() {
+			harness.Render(io.Discard, r)
+			b.Fatalf("%s checks failed", id)
+		}
+	}
+}
+
+func BenchmarkE01LogVsPageShipping(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE02QuorumAvailability(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE03TierSeparation(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE04Elasticity(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE05ZoneMapPruning(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE06PMPersistence(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE07RemoteVsLocalPM(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE08PilotDB(b *testing.B)            { benchExperiment(b, "E8") }
+func BenchmarkE09LegoBase(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10SharedMemoryPool(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11DisaggIndexes(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12TPCHMemoryDisagg(b *testing.B)   { benchExperiment(b, "E12") }
+func BenchmarkE13Teleport(b *testing.B)           { benchExperiment(b, "E13") }
+func BenchmarkE14Farview(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15RemoteCache(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16DisaggShuffle(b *testing.B)      { benchExperiment(b, "E16") }
+func BenchmarkE17CXLTiering(b *testing.B)         { benchExperiment(b, "E17") }
+func BenchmarkE18DirectCXL(b *testing.B)          { benchExperiment(b, "E18") }
+func BenchmarkE19Pond(b *testing.B)               { benchExperiment(b, "E19") }
+func BenchmarkE20MultiWriter(b *testing.B)        { benchExperiment(b, "E20") }
+func BenchmarkE21Autoscaling(b *testing.B)        { benchExperiment(b, "E21") }
+func BenchmarkE22HTAP(b *testing.B)               { benchExperiment(b, "E22") }
+func BenchmarkE23FlexChain(b *testing.B)          { benchExperiment(b, "E23") }
+
+// ---- Micro-benchmarks: substrate hot paths ----
+
+func BenchmarkRDMAOneSidedRead(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	node := rdma.NewNode(cfg, "m0", 1<<20)
+	qp := rdma.Connect(cfg, node, nil)
+	c := sim.NewClock()
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := qp.Read(c, uint64(i%1024)*256, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRDMACAS(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	node := rdma.NewNode(cfg, "m0", 1<<20)
+	qp := rdma.Connect(cfg, node, nil)
+	c := sim.NewClock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp.CAS(c, uint64(i%128)*8, 0, 0)
+	}
+}
+
+func BenchmarkRDMARPC(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	node := rdma.NewNode(cfg, "m0", 1<<20)
+	node.Handle("noop", func(c *sim.Clock, req []byte) []byte { return req })
+	qp := rdma.Connect(cfg, node, nil)
+	c := sim.NewClock()
+	req := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp.Call(c, "noop", req)
+	}
+}
+
+func benchEngineCommit(b *testing.B, e engine.Engine, layout heap.Layout) {
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % 10_000)
+		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuroraCommit(b *testing.B) {
+	layout, _ := heap.NewLayout(8192, 96)
+	benchEngineCommit(b, aurora.New(sim.DefaultConfig(), layout, 2048, 0), layout)
+}
+
+func BenchmarkMonolithicCommit(b *testing.B) {
+	layout, _ := heap.NewLayout(8192, 96)
+	benchEngineCommit(b, monolithic.New(sim.DefaultConfig(), layout, 2048), layout)
+}
+
+func BenchmarkRACEHashGet(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 256<<20)
+	h, err := race.New(cfg, pool, 4, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := h.Attach(1, nil)
+	c := sim.NewClock()
+	for i := uint64(0); i < 10_000; i++ {
+		cl.Put(c, i, []byte("benchmark-value!"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := cl.Get(c, uint64(i%10_000)); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShermanBTreePut(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 1<<30)
+	tr, err := bptree.New(cfg, pool, bptree.Sherman())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := tr.Attach(1, nil)
+	c := sim.NewClock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(c, uint64(i)+1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDLSMPut(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 1<<30)
+	tr := lsm.New(cfg, pool, lsm.DefaultOptions())
+	cl := tr.Attach(nil)
+	c := sim.NewClock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(c, uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCCGen(b *testing.B) {
+	g := workload.DefaultTPCC().NewGenerator(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

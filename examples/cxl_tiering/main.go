@@ -1,0 +1,96 @@
+// cxl_tiering reproduces the HANA-style CXL memory-expansion study (§3.3)
+// as a runnable demo: an in-memory database keeps its hot delta store in
+// local DRAM and its large main store on a CXL Type-3 expander, then runs
+// an OLTP mix and an analytics mix against both placements.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/disagglab/disagg/internal/cxl"
+	"github.com/disagglab/disagg/internal/metrics"
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	fmt.Printf("latency hierarchy: DRAM %v | CXL %v | RDMA %v\n\n",
+		cfg.DRAM.Base, cfg.CXL.Base, cfg.RDMA.Base)
+
+	table := metrics.NewTable("HANA-style tiering: delta in DRAM, main store on CXL",
+		"workload", "all-local", "CXL main store", "drop")
+
+	// ---- OLTP: point accesses ride prefetch + txn logic dominates ----
+	const rows, rowSize, txns = 200_000, 256, 5000
+	runOLTP := func(tier cxl.Tier) time.Duration {
+		space := cxl.NewTieredSpace(cfg, rows*rowSize+1024, rows*rowSize+1024)
+		main, ok := space.Alloc(tier, rows*rowSize)
+		if !ok {
+			log.Fatal("alloc failed")
+		}
+		c := sim.NewClock()
+		r := sim.NewRand(3, 0)
+		buf := make([]byte, rowSize)
+		for i := 0; i < txns; i++ {
+			c.Advance(60 * time.Microsecond) // txn logic
+			for j := 0; j < 10; j++ {
+				main.Read(c, uint64(r.Intn(rows))*rowSize, buf, true)
+			}
+		}
+		return c.Now()
+	}
+	oltpLocal := runOLTP(cxl.TierLocal)
+	oltpCXL := runOLTP(cxl.TierCXL)
+	table.Row("OLTP (TPC-C-shaped)", oltpLocal, oltpCXL,
+		fmt.Sprintf("%.1f%%", 100*(float64(oltpCXL)/float64(oltpLocal)-1)))
+
+	// ---- OLAP: scans are bandwidth-bound, so the CXL gap shows ----
+	cfgOLAP := cfg.Clone()
+	cfgOLAP.CPU.BytesPerSec = 16 * sim.GB // vectorized scan kernels
+	d := workload.TPCH{ScaleRows: 300_000, Clustered: true, Seed: 9}.Generate()
+	runOLAP := func(onCXL bool) time.Duration {
+		var src query.Source
+		if onCXL {
+			dev := cxl.NewDevice(cfgOLAP, d.Lineitem.NumRows()*8*len(d.Lineitem.Schema.Cols)*2)
+			s, err := query.NewCXLSource(cfgOLAP, dev, d.Lineitem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src = s
+		} else {
+			src = query.NewLocalSource(cfgOLAP, d.Lineitem)
+		}
+		c := sim.NewClock()
+		q1, _ := workload.Q1(cfgOLAP, src, 2556)
+		if _, err := query.Collect(c, q1); err != nil {
+			log.Fatal(err)
+		}
+		q6, _ := workload.Q6(cfgOLAP, src, 0, 2556, 0, 11, false)
+		if _, err := query.Collect(c, q6); err != nil {
+			log.Fatal(err)
+		}
+		return c.Now()
+	}
+	olapLocal := runOLAP(false)
+	olapCXL := runOLAP(true)
+	table.Row("OLAP (TPC-H Q1+Q6)", olapLocal, olapCXL,
+		fmt.Sprintf("%.1f%%", 100*(float64(olapCXL)/float64(olapLocal)-1)))
+
+	fmt.Println(table.String())
+	fmt.Println("Ahn et al. (DaMoN'22) report ~0% TPC-C drop and 7-27% TPC-DS drop —")
+	fmt.Println("the same shape: OLTP hides CXL latency, scans pay the bandwidth gap.")
+
+	// Bonus: what spilling to CXL buys over NOT having the expander.
+	demand := 3 * rows * rowSize / 2
+	space := cxl.NewTieredSpace(cfg, rows*rowSize, rows*rowSize)
+	if _, ok := space.Alloc(cxl.TierLocal, demand); ok {
+		log.Fatal("unexpected: demand fit in local DRAM")
+	}
+	fmt.Printf("\nworking set of %s exceeds local DRAM (%s): without CXL this workload\n",
+		metrics.FormatBytes(int64(demand)), metrics.FormatBytes(int64(rows*rowSize)))
+	fmt.Println("spills to SSD; with the expander it stays in (slower) memory.")
+}

@@ -1,0 +1,82 @@
+// olap_pushdown runs a TPC-H Q6-shaped analytical query against data
+// resident in a disaggregated memory pool, three ways: paging the columns
+// to the compute node (the disaggregated-OS baseline), TELEPORT-style
+// function pushdown, and a Farview-style pipelined operator stack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/metrics"
+	"github.com/disagglab/disagg/internal/offload"
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	const rows = 500_000
+
+	// Generate a lineitem-shaped table and move it into the memory pool.
+	data := workload.TPCH{ScaleRows: rows, Seed: 42}.Generate()
+	li := data.Lineitem
+	// offload works on named int64 columns; reuse the generated ones.
+	tbl := query.NewTable(workload.LShipDate, workload.LDiscount, workload.LPrice)
+	di, _ := li.Schema.ColIndex(workload.LShipDate)
+	ci, _ := li.Schema.ColIndex(workload.LDiscount)
+	pi, _ := li.Schema.ColIndex(workload.LPrice)
+	for r := 0; r < li.NumRows(); r++ {
+		tbl.AppendRow(li.Cols[di][r], li.Cols[ci][r], li.Cols[pi][r])
+	}
+	pool := memnode.New(cfg, "mem-pool", 1<<30)
+	rc, err := offload.Upload(cfg, pool, tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp := pool.Connect(nil)
+
+	table := metrics.NewTable(fmt.Sprintf("Q6-shaped query over %d rows in disaggregated memory", rows),
+		"execution strategy", "time", "result (sum of price)")
+
+	// 1. Pull: page everything to the compute node.
+	pull := sim.NewClock()
+	sum, n, err := rc.PullFilterSum(pull, qp, workload.LShipDate, 100, 465, workload.LPrice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.Row("pull columns (4KB remote paging)", pull.Now(), sum)
+
+	// 2. TELEPORT pushdown: ship the function, not the data.
+	push := sim.NewClock()
+	sum2, n2, err := rc.PushFilterSum(push, qp, workload.LShipDate, 100, 465, workload.LPrice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.Row("TELEPORT pushdown (one RPC)", push.Now(), sum2)
+
+	// 3. Farview operator stack with pipelining.
+	fv := sim.NewClock()
+	groups, err := rc.RunStack(fv, qp, []offload.Stage{
+		{Kind: offload.StageSelect, Col: workload.LShipDate, Lo: 100, Hi: 465},
+		{Kind: offload.StageGroupBy, Col: workload.LDiscount},
+		{Kind: offload.StageAgg, Col: workload.LPrice},
+	}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fvSum int64
+	for _, v := range groups {
+		fvSum += v
+	}
+	table.Row("Farview pipelined stack (grouped)", fv.Now(), fvSum)
+
+	fmt.Println(table.String())
+	if sum != sum2 || sum != fvSum || n != n2 {
+		log.Fatalf("results diverge: %d/%d/%d", sum, sum2, fvSum)
+	}
+	fmt.Printf("pushdown speedup: %.1fx  (matched %d rows; result crosses the wire, not the data)\n",
+		float64(pull.Now())/float64(push.Now()), n)
+}

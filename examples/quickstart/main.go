@@ -1,0 +1,94 @@
+// Quickstart: build an Aurora-style storage-disaggregated database, run
+// transactions against it, read from a replica, then crash the compute
+// node and watch it recover near-instantly — the log is the database.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/aurora"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	layout, err := heap.NewLayout(8192, 64) // 8KB pages, 64B values
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One writer, one read replica, a 6-replica/3-AZ storage volume.
+	db := aurora.New(cfg, layout, 1024, 1)
+	clock := sim.NewClock()
+
+	// 1. Commit a few transactions.
+	for i := uint64(1); i <= 100; i++ {
+		i := i
+		err := db.Execute(clock, func(tx engine.Tx) error {
+			val := make([]byte, layout.ValSize)
+			binary.LittleEndian.PutUint64(val, i*i)
+			return tx.Write(i, val)
+		})
+		if err != nil {
+			log.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	fmt.Printf("committed 100 txns in %v simulated time (%.0f txn/s)\n",
+		clock.Now(), 100/clock.Now().Seconds())
+	fmt.Printf("network bytes per commit: %.0f (only log records cross the wire)\n",
+		db.Stats().BytesPerCommit())
+
+	// 2. Read from the replica.
+	err = db.ReadReplica(clock, 0, func(tx engine.Tx) error {
+		v, err := tx.Read(7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replica read key 7 -> %d\n", binary.LittleEndian.Uint64(v))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Kill an entire availability zone: writes keep flowing (4/6
+	// write quorum).
+	db.Volume.FailAZ(2)
+	err = db.Execute(clock, func(tx engine.Tx) error {
+		return tx.Write(101, make([]byte, layout.ValSize))
+	})
+	fmt.Printf("write with one AZ down: %v\n", errString(err))
+
+	// 4. Crash the writer and recover: no redo replay on the compute
+	// node — storage nodes already materialize pages from the log.
+	db.Crash()
+	rc := sim.NewClock()
+	d, err := db.Recover(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compute-node recovery took %v (a quorum LSN poll, not a log replay)\n", d)
+
+	// 5. Everything is still there.
+	err = db.Execute(clock, func(tx engine.Tx) error {
+		v, err := tx.Read(100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after recovery, key 100 -> %d\n", binary.LittleEndian.Uint64(v))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

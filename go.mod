@@ -1,0 +1,3 @@
+module github.com/disagglab/disagg
+
+go 1.24

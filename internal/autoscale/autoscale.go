@@ -1,0 +1,188 @@
+// Package autoscale implements the "automatic resource provisioning"
+// future direction of §4: a controller that watches workload telemetry
+// (latency, utilization, queueing) and decides how much compute, memory,
+// and storage to provision — the decision disaggregation makes cheap,
+// because each resource scales independently.
+//
+// Two policies are provided: a reactive threshold rule (the classic
+// autoscaler) and a predictive model that regresses demand over a sliding
+// window and provisions ahead of it — the "recent advances in machine
+// learning" §4 points at, distilled to an online linear fit, which is
+// enough to show the lead-time benefit.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sample is one telemetry observation.
+type Sample struct {
+	// At is the virtual timestamp of the observation.
+	At time.Duration
+	// Demand is the offered load (e.g. txn/s or queries/s).
+	Demand float64
+}
+
+// Decision is the controller's output.
+type Decision struct {
+	// Nodes is the number of compute nodes to run.
+	Nodes int
+	// Reason explains the decision (for operator logs).
+	Reason string
+}
+
+// Policy maps telemetry to provisioning decisions.
+type Policy interface {
+	// Decide consumes the newest sample and returns the node count to
+	// provision, given each node serves perNode demand units.
+	Decide(s Sample, perNode float64) Decision
+}
+
+// Errors.
+var ErrBadCapacity = errors.New("autoscale: per-node capacity must be positive")
+
+// Reactive is the threshold autoscaler: scale out when utilization exceeds
+// High, in when below Low. It reacts only after load has already changed.
+type Reactive struct {
+	High, Low float64
+	nodes     int
+}
+
+// NewReactive returns a reactive policy starting at one node.
+func NewReactive() *Reactive { return &Reactive{High: 0.8, Low: 0.3, nodes: 1} }
+
+// Decide implements Policy.
+func (r *Reactive) Decide(s Sample, perNode float64) Decision {
+	if r.nodes < 1 {
+		r.nodes = 1
+	}
+	util := s.Demand / (float64(r.nodes) * perNode)
+	switch {
+	case util > r.High:
+		r.nodes = int(s.Demand/(perNode*r.High)) + 1
+		return Decision{Nodes: r.nodes, Reason: fmt.Sprintf("util %.2f > %.2f: scale out", util, r.High)}
+	case util < r.Low && r.nodes > 1:
+		r.nodes = int(s.Demand/(perNode*r.High)) + 1
+		return Decision{Nodes: r.nodes, Reason: fmt.Sprintf("util %.2f < %.2f: scale in", util, r.Low)}
+	default:
+		return Decision{Nodes: r.nodes, Reason: "steady"}
+	}
+}
+
+// Predictive fits demand(t) over a sliding window with least squares and
+// provisions for the EXTRAPOLATED demand one horizon ahead, so capacity is
+// ready when the load arrives.
+type Predictive struct {
+	// Window is the number of samples regressed.
+	Window int
+	// Horizon is how far ahead to provision.
+	Horizon time.Duration
+	// Headroom is the target utilization for the predicted demand.
+	Headroom float64
+
+	samples []Sample
+	nodes   int
+}
+
+// NewPredictive returns a predictive policy with a 16-sample window.
+func NewPredictive(horizon time.Duration) *Predictive {
+	return &Predictive{Window: 16, Horizon: horizon, Headroom: 0.8, nodes: 1}
+}
+
+// Decide implements Policy.
+func (p *Predictive) Decide(s Sample, perNode float64) Decision {
+	p.samples = append(p.samples, s)
+	if len(p.samples) > p.Window {
+		p.samples = p.samples[len(p.samples)-p.Window:]
+	}
+	predicted := p.forecast(s.At + p.Horizon)
+	if predicted < s.Demand {
+		predicted = s.Demand // never provision below observed load
+	}
+	want := int(predicted/(perNode*p.Headroom)) + 1
+	if want < 1 {
+		want = 1
+	}
+	p.nodes = want
+	return Decision{Nodes: want, Reason: fmt.Sprintf("forecast %.0f at +%v", predicted, p.Horizon)}
+}
+
+// forecast extrapolates the least-squares line through the window.
+func (p *Predictive) forecast(at time.Duration) float64 {
+	n := float64(len(p.samples))
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return p.samples[0].Demand
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range p.samples {
+		x := s.At.Seconds()
+		sx += x
+		sy += s.Demand
+		sxx += x * x
+		sxy += x * s.Demand
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	f := intercept + slope*at.Seconds()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Trace evaluates a policy against a demand trace and reports (a) the
+// fraction of samples where provisioned capacity was insufficient (SLO
+// violations) and (b) the average overprovisioned node-fraction (cost).
+// Each sample is one control interval; decisions take effect the NEXT
+// interval (provisioning lag).
+func Trace(p Policy, perNode float64, demands []float64, interval time.Duration) (violations float64, avgOver float64, err error) {
+	if perNode <= 0 {
+		return 0, 0, ErrBadCapacity
+	}
+	nodes := 1
+	bad := 0
+	var over float64
+	for i, d := range demands {
+		// Serve this interval with the capacity provisioned before it.
+		cap := float64(nodes) * perNode
+		if d > cap {
+			bad++
+		} else if d > 0 {
+			over += (cap - d) / perNode
+		}
+		dec := p.Decide(Sample{At: time.Duration(i) * interval, Demand: d}, perNode)
+		nodes = dec.Nodes
+	}
+	n := float64(len(demands))
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return float64(bad) / n, over / n, nil
+}
+
+// RampTrace builds a demand trace that ramps up, plateaus and falls — the
+// diurnal pattern provisioning papers use.
+func RampTrace(peak float64, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		frac := float64(i) / float64(steps-1)
+		switch {
+		case frac < 0.4: // ramp
+			out[i] = peak * frac / 0.4
+		case frac < 0.7: // plateau
+			out[i] = peak
+		default: // fall
+			out[i] = peak * (1 - (frac-0.7)/0.3)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReactiveScalesOutUnderLoad(t *testing.T) {
+	p := NewReactive()
+	d := p.Decide(Sample{At: 0, Demand: 1000}, 100)
+	if d.Nodes < 10 {
+		t.Fatalf("nodes = %d for demand 1000 at 100/node", d.Nodes)
+	}
+	// Scale back in when idle.
+	d = p.Decide(Sample{At: time.Second, Demand: 50}, 100)
+	if d.Nodes > 2 {
+		t.Fatalf("nodes = %d after load dropped", d.Nodes)
+	}
+}
+
+func TestReactiveSteadyState(t *testing.T) {
+	p := NewReactive()
+	p.Decide(Sample{Demand: 500}, 100) // provisions ~7
+	before := p.nodes
+	d := p.Decide(Sample{Demand: 500}, 100)
+	if d.Nodes != before || d.Reason != "steady" {
+		t.Fatalf("steady load changed provisioning: %+v", d)
+	}
+}
+
+func TestPredictiveForecastsLinearRamp(t *testing.T) {
+	p := NewPredictive(10 * time.Second)
+	// Feed a perfect ramp: demand = 10*t.
+	var last Decision
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Second
+		last = p.Decide(Sample{At: at, Demand: float64(i * 10)}, 100)
+	}
+	// At t=9 demand is 90; forecast at t=19 should be ~190, so with
+	// headroom 0.8 it provisions ceil(190/80)+1 ≈ 3.
+	if last.Nodes < 3 {
+		t.Fatalf("predictive provisioned only %d nodes ahead of the ramp", last.Nodes)
+	}
+}
+
+func TestForecastDegenerateCases(t *testing.T) {
+	p := NewPredictive(time.Second)
+	if f := p.forecast(time.Second); f != 0 {
+		t.Fatalf("empty forecast = %v", f)
+	}
+	p.samples = []Sample{{At: 0, Demand: 42}}
+	if f := p.forecast(time.Hour); f != 42 {
+		t.Fatalf("single-sample forecast = %v", f)
+	}
+	// Identical timestamps: fall back to mean.
+	p.samples = []Sample{{At: 0, Demand: 10}, {At: 0, Demand: 20}}
+	if f := p.forecast(time.Hour); f != 15 {
+		t.Fatalf("degenerate forecast = %v", f)
+	}
+	// Falling demand never forecasts below zero.
+	p.samples = []Sample{{At: 0, Demand: 100}, {At: time.Second, Demand: 10}}
+	if f := p.forecast(time.Minute); f != 0 {
+		t.Fatalf("negative forecast = %v", f)
+	}
+}
+
+func TestTracePredictiveBeatsReactiveOnRamps(t *testing.T) {
+	// The §4 claim distilled: with provisioning lag, a predictor that
+	// sees the ramp coming violates the SLO less often. The ramp is
+	// steep enough that per-interval growth outruns the reactive
+	// policy's headroom.
+	demands := RampTrace(40_000, 30)
+	perNode := 250.0
+	interval := time.Second
+
+	vioR, _, err := Trace(NewReactive(), perNode, demands, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vioP, overP, err := Trace(NewPredictive(2*interval), perNode, demands, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(vioP < vioR) {
+		t.Fatalf("predictive violations %.2f should be < reactive %.2f", vioP, vioR)
+	}
+	// Cost guard: average slack stays below half the peak fleet (the
+	// 20% headroom target plus forecast error, not runaway growth).
+	if peakNodes := 40_000 / perNode; overP > 0.5*peakNodes {
+		t.Fatalf("predictive overprovisions wildly: %.1f nodes average slack", overP)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, _, err := Trace(NewReactive(), 0, []float64{1}, time.Second); err != ErrBadCapacity {
+		t.Fatalf("err = %v", err)
+	}
+	if v, o, err := Trace(NewReactive(), 10, nil, time.Second); err != nil || v != 0 || o != 0 {
+		t.Fatal("empty trace should be zero-safe")
+	}
+}
+
+func TestRampTraceShape(t *testing.T) {
+	tr := RampTrace(100, 50)
+	if len(tr) != 50 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if tr[0] != 0 || tr[25] != 100 || tr[len(tr)-1] > 5 {
+		t.Fatalf("ramp shape wrong: start %v mid %v end %v", tr[0], tr[25], tr[len(tr)-1])
+	}
+}

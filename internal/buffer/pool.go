@@ -1,0 +1,452 @@
+// Package buffer implements the buffer pools used across the engines: a
+// local in-DRAM LRU pool, an RDMA-backed remote pool hosted on a memory
+// node, and the LegoBase two-tier combination (local LRU in front of a
+// remote-memory LRU, §3.1).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Fetcher loads a page's bytes on a miss (e.g. from a storage node),
+// charging the caller's clock.
+type Fetcher func(c *sim.Clock, id page.ID) ([]byte, error)
+
+// Writeback persists a dirty page on eviction.
+type Writeback func(c *sim.Clock, id page.ID, data []byte) error
+
+// ErrNoFetcher is returned when a miss occurs and no fetcher is set.
+var ErrNoFetcher = errors.New("buffer: miss with no fetcher")
+
+type frame struct {
+	id    page.ID
+	data  []byte
+	dirty bool
+}
+
+// Pool is a local LRU page cache. All access goes through Get/Mutate under
+// the pool lock; DRAM access cost is charged per touch.
+type Pool struct {
+	cfg       *sim.Config
+	capacity  int
+	fetch     Fetcher
+	writeback Writeback
+
+	mu     sync.Mutex
+	lru    *list.List // front = most recent
+	frames map[page.ID]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPool creates a pool holding up to capacity pages.
+func NewPool(cfg *sim.Config, capacity int, fetch Fetcher, writeback Writeback) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		cfg:       cfg,
+		capacity:  capacity,
+		fetch:     fetch,
+		writeback: writeback,
+		lru:       list.New(),
+		frames:    make(map[page.ID]*list.Element),
+	}
+}
+
+// Capacity reports the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len reports the number of cached pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// HitRatio reports hits/(hits+misses).
+func (p *Pool) HitRatio() float64 {
+	h, m := p.hits.Load(), p.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// ResetStats clears the hit/miss counters.
+func (p *Pool) ResetStats() { p.hits.Store(0); p.misses.Store(0) }
+
+func (p *Pool) locked(c *sim.Clock, id page.ID, load bool) (*frame, error) {
+	if e, ok := p.frames[id]; ok {
+		p.lru.MoveToFront(e)
+		p.hits.Add(1)
+		return e.Value.(*frame), nil
+	}
+	p.misses.Add(1)
+	if !load {
+		return nil, nil
+	}
+	if p.fetch == nil {
+		return nil, ErrNoFetcher
+	}
+	data, err := p.fetch(c, id)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: data}
+	if err := p.evictIfFullLocked(c); err != nil {
+		return nil, err
+	}
+	p.frames[id] = p.lru.PushFront(f)
+	return f, nil
+}
+
+func (p *Pool) evictIfFullLocked(c *sim.Clock) error {
+	for p.lru.Len() >= p.capacity {
+		e := p.lru.Back()
+		if e == nil {
+			return nil
+		}
+		f := e.Value.(*frame)
+		if f.dirty && p.writeback != nil {
+			if err := p.writeback(c, f.id, f.data); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.id)
+	}
+	return nil
+}
+
+// Get returns a copy of the page bytes, fetching on miss.
+func (p *Pool) Get(c *sim.Clock, id page.ID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.locked(c, id, true)
+	if err != nil {
+		return nil, err
+	}
+	c.Advance(p.cfg.DRAM.Cost(len(f.data)))
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// Contains reports whether the page is cached (no fetch, no LRU effect on
+// miss).
+func (p *Pool) Contains(id page.ID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Mutate applies fn to the cached page under the pool lock, fetching on
+// miss, and marks the page dirty.
+func (p *Pool) Mutate(c *sim.Clock, id page.ID, fn func(data []byte) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.locked(c, id, true)
+	if err != nil {
+		return err
+	}
+	c.Advance(p.cfg.DRAM.Cost(len(f.data)))
+	if err := fn(f.data); err != nil {
+		return err
+	}
+	f.dirty = true
+	return nil
+}
+
+// Install inserts page bytes directly (e.g. a freshly created page),
+// marking it dirty if requested.
+func (p *Pool) Install(c *sim.Clock, id page.ID, data []byte, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.frames[id]; ok {
+		f := e.Value.(*frame)
+		f.data = data
+		f.dirty = f.dirty || dirty
+		p.lru.MoveToFront(e)
+		return nil
+	}
+	if err := p.evictIfFullLocked(c); err != nil {
+		return err
+	}
+	p.frames[id] = p.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
+	return nil
+}
+
+// Invalidate drops a page without writeback (coherence message from a
+// remote writer).
+func (p *Pool) Invalidate(id page.ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.frames[id]; ok {
+		p.lru.Remove(e)
+		delete(p.frames, id)
+	}
+}
+
+// InvalidateAll empties the pool without writeback (crash simulation).
+func (p *Pool) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.frames = make(map[page.ID]*list.Element)
+}
+
+// FlushAll writes back every dirty page.
+func (p *Pool) FlushAll(c *sim.Clock) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.dirty {
+			if p.writeback != nil {
+				if err := p.writeback(c, f.id, f.data); err != nil {
+					return err
+				}
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// DirtyIDs returns the IDs of dirty pages (checkpointing support).
+func (p *Pool) DirtyIDs() []page.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []page.ID
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		if f := e.Value.(*frame); f.dirty {
+			out = append(out, f.id)
+		}
+	}
+	return out
+}
+
+// RemotePool is a page cache hosted in a disaggregated memory node and
+// accessed with one-sided RDMA. It is the "remote memory pool" tier of
+// LegoBase and the elastic shared buffer of PolarDB Serverless.
+type RemotePool struct {
+	cfg      *sim.Config
+	qp       *rdma.QP
+	pageSize int
+	capacity int
+
+	mu    sync.Mutex
+	lru   *list.List // of page.ID; front = most recent
+	index map[page.ID]*remoteEntry
+	free  []uint64 // free region addresses
+}
+
+type remoteEntry struct {
+	addr uint64
+	elem *list.Element
+}
+
+// NewRemotePool carves capacity page frames out of the node's registered
+// memory starting at base.
+func NewRemotePool(cfg *sim.Config, node *rdma.Node, stats *rdma.Stats, base uint64, capacity, pageSize int) *RemotePool {
+	rp := &RemotePool{
+		cfg:      cfg,
+		qp:       rdma.Connect(cfg, node, stats),
+		pageSize: pageSize,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[page.ID]*remoteEntry),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		rp.free = append(rp.free, base+uint64(i*pageSize))
+	}
+	return rp
+}
+
+// Capacity reports the frame count.
+func (r *RemotePool) Capacity() int { return r.capacity }
+
+// Len reports resident pages.
+func (r *RemotePool) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.index)
+}
+
+// Contains reports residency without RDMA traffic (the compute node keeps
+// the directory locally; PolarDB Serverless keeps it on the memory node's
+// control plane, which we fold into the directory lookup).
+func (r *RemotePool) Contains(id page.ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.index[id]
+	return ok
+}
+
+// Get reads the page into buf via one-sided RDMA. Returns false on miss.
+func (r *RemotePool) Get(c *sim.Clock, id page.ID, buf []byte) (bool, error) {
+	r.mu.Lock()
+	e, ok := r.index[id]
+	if ok {
+		r.lru.MoveToFront(e.elem)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := r.qp.Read(c, e.addr, buf[:r.pageSize]); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Put writes the page to remote memory, evicting the LRU page if needed.
+// Evicted pages are simply dropped: the remote pool caches pages that are
+// durable elsewhere (storage tier), like LegoBase's remote memory.
+func (r *RemotePool) Put(c *sim.Clock, id page.ID, data []byte) error {
+	r.mu.Lock()
+	if e, ok := r.index[id]; ok {
+		r.lru.MoveToFront(e.elem)
+		addr := e.addr
+		r.mu.Unlock()
+		return r.qp.Write(c, addr, data[:r.pageSize])
+	}
+	var addr uint64
+	if len(r.free) > 0 {
+		addr = r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+	} else {
+		// Evict LRU.
+		back := r.lru.Back()
+		victim := back.Value.(page.ID)
+		ve := r.index[victim]
+		r.lru.Remove(back)
+		delete(r.index, victim)
+		addr = ve.addr
+	}
+	e := &remoteEntry{addr: addr}
+	e.elem = r.lru.PushFront(id)
+	r.index[id] = e
+	r.mu.Unlock()
+	return r.qp.Write(c, addr, data[:r.pageSize])
+}
+
+// Drop removes a page from the remote pool (invalidation).
+func (r *RemotePool) Drop(id page.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[id]; ok {
+		r.lru.Remove(e.elem)
+		delete(r.index, id)
+		r.free = append(r.free, e.addr)
+	}
+}
+
+// IDs returns the resident page IDs (used by recovery: a rebooted compute
+// node can repopulate from remote memory instead of storage).
+func (r *RemotePool) IDs() []page.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]page.ID, 0, len(r.index))
+	for id := range r.index {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TwoTier is LegoBase's two-level cache: a small compute-local LRU backed
+// by a large remote-memory LRU, backed by the storage fetcher. Pages
+// evicted from the local tier are demoted to the remote tier.
+type TwoTier struct {
+	Local  *Pool
+	Remote *RemotePool
+	fetch  Fetcher
+
+	localHits  atomic.Int64
+	remoteHits atomic.Int64
+	storage    atomic.Int64
+}
+
+// NewTwoTier wires the two tiers. Dirty local evictions are demoted into
+// the remote pool via the pool's writeback hook.
+func NewTwoTier(cfg *sim.Config, localCap int, remote *RemotePool, fetch Fetcher) *TwoTier {
+	t := &TwoTier{Remote: remote, fetch: fetch}
+	t.Local = NewPool(cfg, localCap, nil, func(c *sim.Clock, id page.ID, data []byte) error {
+		return remote.Put(c, id, data)
+	})
+	return t
+}
+
+// Get returns the page bytes, trying local, then remote, then storage.
+func (t *TwoTier) Get(c *sim.Clock, id page.ID) ([]byte, error) {
+	if t.Local.Contains(id) {
+		t.localHits.Add(1)
+		return t.Local.Get(c, id)
+	}
+	buf := make([]byte, t.Remote.pageSize)
+	ok, err := t.Remote.Get(c, id, buf)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		t.remoteHits.Add(1)
+		if err := t.Local.Install(c, id, buf, false); err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(buf))
+		copy(out, buf)
+		return out, nil
+	}
+	t.storage.Add(1)
+	data, err := t.fetch(c, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Remote.Put(c, id, data); err != nil {
+		return nil, err
+	}
+	if err := t.Local.Install(c, id, data, false); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Mutate updates the page in the local tier (write path; demotion to the
+// remote tier happens on eviction, and durability is the engine's log).
+func (t *TwoTier) Mutate(c *sim.Clock, id page.ID, fn func(data []byte) error) error {
+	if !t.Local.Contains(id) {
+		// Pull into local tier first.
+		if _, err := t.Get(c, id); err != nil {
+			return err
+		}
+	}
+	return t.Local.Mutate(c, id, fn)
+}
+
+// TierStats reports (local hits, remote hits, storage fetches).
+func (t *TwoTier) TierStats() (local, remote, storage int64) {
+	return t.localHits.Load(), t.remoteHits.Load(), t.storage.Load()
+}
+
+// CombinedHitRatio reports the fraction of accesses served without
+// touching storage.
+func (t *TwoTier) CombinedHitRatio() float64 {
+	l, r, s := t.TierStats()
+	total := l + r + s
+	if total == 0 {
+		return 0
+	}
+	return float64(l+r) / float64(total)
+}

@@ -1,0 +1,212 @@
+// Package device models the individual hardware components of a
+// disaggregated data center: DRAM, persistent memory (PM), NVMe SSDs, and
+// cloud object storage. Devices charge virtual latency on the caller's
+// clock through a shared contention meter; some devices (the object store)
+// also hold real data because higher layers store bytes in them.
+package device
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// DRAM is a local memory device. Accesses are cacheline-ish: a per-access
+// base latency plus streaming bandwidth for larger transfers.
+type DRAM struct {
+	cfg   *sim.Config
+	meter *sim.Meter
+}
+
+// NewDRAM returns a DRAM device with the given number of channels.
+func NewDRAM(cfg *sim.Config, channels int) *DRAM {
+	return &DRAM{cfg: cfg, meter: sim.NewMeter(channels)}
+}
+
+// Access charges one memory access of n bytes.
+func (d *DRAM) Access(c *sim.Clock, n int) {
+	d.meter.Charge(c, d.cfg.DRAM.Cost(n))
+}
+
+// PM is a persistent-memory device (Optane-like). Reads are near-DRAM;
+// persisted writes are limited by a much lower write bandwidth. The device
+// tracks whether it is being accessed through a legacy I/O stack (per the
+// Exadata observation, §2.3: syscall overheads can dwarf the medium).
+type PM struct {
+	cfg         *sim.Config
+	meter       *sim.Meter
+	LegacyStack bool
+}
+
+// NewPM returns a PM device; legacyStack selects the syscall-mediated
+// access path used by experiment E7.
+func NewPM(cfg *sim.Config, channels int, legacyStack bool) *PM {
+	return &PM{cfg: cfg, meter: sim.NewMeter(channels), LegacyStack: legacyStack}
+}
+
+// Read charges a read of n bytes.
+func (p *PM) Read(c *sim.Clock, n int) {
+	d := p.cfg.PMRead.Cost(n)
+	if p.LegacyStack {
+		d += p.cfg.LocalPMSyscall
+	}
+	p.meter.Charge(c, d)
+}
+
+// WritePersist charges a write of n bytes that reaches the persistence
+// domain before returning.
+func (p *PM) WritePersist(c *sim.Clock, n int) {
+	d := p.cfg.PMWrite.Cost(n)
+	if p.LegacyStack {
+		d += p.cfg.LocalPMSyscall
+	}
+	p.meter.Charge(c, d)
+}
+
+// SSD is an NVMe block device.
+type SSD struct {
+	cfg   *sim.Config
+	meter *sim.Meter
+}
+
+// NewSSD returns an SSD with the given queue depth.
+func NewSSD(cfg *sim.Config, queueDepth int) *SSD {
+	return &SSD{cfg: cfg, meter: sim.NewMeter(queueDepth)}
+}
+
+// Read charges a block read of n bytes.
+func (s *SSD) Read(c *sim.Clock, n int) {
+	s.meter.Charge(c, s.cfg.SSDRead.Cost(n))
+}
+
+// Write charges a durable block write of n bytes.
+func (s *SSD) Write(c *sim.Clock, n int) {
+	s.meter.Charge(c, s.cfg.SSDWrite.Cost(n))
+}
+
+// ErrNoSuchObject is returned by ObjectStore.Get for missing keys.
+var ErrNoSuchObject = errors.New("device: no such object")
+
+// ObjectStore is an S3/XStore-like durable blob store: very high base
+// latency, decent streaming bandwidth, immutable-object semantics. Unlike
+// the pure cost devices above it actually holds the bytes, because
+// Snowflake-style engines and the Socrates XStore tier store real data here.
+type ObjectStore struct {
+	cfg   *sim.Config
+	meter *sim.Meter
+
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewObjectStore returns an empty object store.
+func NewObjectStore(cfg *sim.Config) *ObjectStore {
+	return &ObjectStore{cfg: cfg, meter: sim.NewMeter(64), objects: make(map[string][]byte)}
+}
+
+// Put stores an immutable object and charges the upload cost.
+func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	o.mu.Lock()
+	o.objects[key] = cp
+	o.mu.Unlock()
+	o.meter.Charge(c, o.cfg.ObjPut.Cost(len(data)))
+}
+
+// Get fetches an object, charging the download cost.
+func (o *ObjectStore) Get(c *sim.Clock, key string) ([]byte, error) {
+	o.mu.RLock()
+	data, ok := o.objects[key]
+	o.mu.RUnlock()
+	if !ok {
+		return nil, ErrNoSuchObject
+	}
+	o.meter.Charge(c, o.cfg.ObjGet.Cost(len(data)))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// GetRange fetches length bytes at offset (cheap partial read, used for
+// columnar pruning where only some column chunks are fetched).
+func (o *ObjectStore) GetRange(c *sim.Clock, key string, off, length int) ([]byte, error) {
+	o.mu.RLock()
+	data, ok := o.objects[key]
+	o.mu.RUnlock()
+	if !ok {
+		return nil, ErrNoSuchObject
+	}
+	if off < 0 || off > len(data) {
+		return nil, ErrNoSuchObject
+	}
+	end := off + length
+	if end > len(data) {
+		end = len(data)
+	}
+	o.meter.Charge(c, o.cfg.ObjGet.Cost(end-off))
+	cp := make([]byte, end-off)
+	copy(cp, data[off:end])
+	return cp, nil
+}
+
+// Delete removes an object (metadata op; charged a base put latency).
+func (o *ObjectStore) Delete(c *sim.Clock, key string) {
+	o.mu.Lock()
+	delete(o.objects, key)
+	o.mu.Unlock()
+	o.meter.Charge(c, o.cfg.ObjPut.Base)
+}
+
+// Len reports the number of stored objects.
+func (o *ObjectStore) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.objects)
+}
+
+// Keys returns a snapshot of the stored keys (test/inspection helper).
+func (o *ObjectStore) Keys() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	ks := make([]string, 0, len(o.objects))
+	for k := range o.objects {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TotalBytes reports the total stored payload size.
+func (o *ObjectStore) TotalBytes() int64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var n int64
+	for _, v := range o.objects {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// AccessTimer exposes rough device timing for planners that reason about
+// tiers (e.g. Pond's placement predictor compares DRAM vs CXL penalties).
+type AccessTimer interface {
+	// TypicalLatency reports the modeled latency of one n-byte access.
+	TypicalLatency(n int) time.Duration
+}
+
+// TypicalLatency implements AccessTimer for DRAM.
+func (d *DRAM) TypicalLatency(n int) time.Duration { return d.cfg.DRAM.Cost(n) }
+
+// TypicalLatency implements AccessTimer for PM (read path).
+func (p *PM) TypicalLatency(n int) time.Duration {
+	d := p.cfg.PMRead.Cost(n)
+	if p.LegacyStack {
+		d += p.cfg.LocalPMSyscall
+	}
+	return d
+}
+
+// TypicalLatency implements AccessTimer for SSD (read path).
+func (s *SSD) TypicalLatency(n int) time.Duration { return s.cfg.SSDRead.Cost(n) }

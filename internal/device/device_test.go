@@ -1,0 +1,155 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestDRAMAccessCharges(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	d := NewDRAM(cfg, 4)
+	c := sim.NewClock()
+	d.Access(c, 64)
+	if c.Now() != cfg.DRAM.Cost(64) {
+		t.Fatalf("charged %v, want %v", c.Now(), cfg.DRAM.Cost(64))
+	}
+}
+
+func TestPMReadWriteAsymmetry(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := NewPM(cfg, 4, false)
+	rc, wc := sim.NewClock(), sim.NewClock()
+	p.Read(rc, 4096)
+	p.WritePersist(wc, 4096)
+	if !(rc.Now() < wc.Now()) {
+		t.Fatalf("PM read (%v) should be cheaper than persisted write (%v)", rc.Now(), wc.Now())
+	}
+}
+
+func TestPMLegacyStackOverhead(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	direct := NewPM(cfg, 4, false)
+	legacy := NewPM(cfg, 4, true)
+	dc, lc := sim.NewClock(), sim.NewClock()
+	direct.Read(dc, 256)
+	legacy.Read(lc, 256)
+	if lc.Now()-dc.Now() != cfg.LocalPMSyscall {
+		t.Fatalf("legacy overhead = %v, want %v", lc.Now()-dc.Now(), cfg.LocalPMSyscall)
+	}
+	// The Exadata observation (E7): remote PM over RDMA beats the local
+	// legacy path.
+	remote := cfg.RDMA.Cost(256) + cfg.PMRead.Cost(256)
+	if !(remote < lc.Now()) {
+		t.Fatalf("remote PM (%v) should beat legacy local PM (%v)", remote, lc.Now())
+	}
+}
+
+func TestSSDSlowerThanPM(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	s := NewSSD(cfg, 32)
+	p := NewPM(cfg, 4, false)
+	sc, pc := sim.NewClock(), sim.NewClock()
+	s.Read(sc, 4096)
+	p.Read(pc, 4096)
+	if !(pc.Now() < sc.Now()/10) {
+		t.Fatalf("PM (%v) should be ≫10x faster than SSD (%v)", pc.Now(), sc.Now())
+	}
+}
+
+func TestObjectStorePutGet(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := NewObjectStore(cfg)
+	c := sim.NewClock()
+	o.Put(c, "seg/1", []byte("hello object world"))
+	got, err := o.Get(c, "seg/1")
+	if err != nil || string(got) != "hello object world" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if _, err := o.Get(c, "missing"); err != ErrNoSuchObject {
+		t.Fatalf("missing object error = %v", err)
+	}
+	if o.Len() != 1 || o.TotalBytes() != 18 {
+		t.Fatalf("len=%d bytes=%d", o.Len(), o.TotalBytes())
+	}
+}
+
+func TestObjectStoreImmutability(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := NewObjectStore(cfg)
+	c := sim.NewClock()
+	src := []byte{1, 2, 3}
+	o.Put(c, "k", src)
+	src[0] = 99 // caller mutates its buffer after Put
+	got, _ := o.Get(c, "k")
+	if got[0] != 1 {
+		t.Fatal("Put aliased caller buffer")
+	}
+	got[1] = 88 // caller mutates the returned buffer
+	again, _ := o.Get(c, "k")
+	if again[1] != 2 {
+		t.Fatal("Get aliased stored buffer")
+	}
+}
+
+func TestObjectStoreGetRange(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := NewObjectStore(cfg)
+	c := sim.NewClock()
+	o.Put(c, "k", []byte("0123456789"))
+	got, err := o.GetRange(c, "k", 2, 3)
+	if err != nil || !bytes.Equal(got, []byte("234")) {
+		t.Fatalf("range = %q, %v", got, err)
+	}
+	got, err = o.GetRange(c, "k", 8, 100) // clamped tail
+	if err != nil || !bytes.Equal(got, []byte("89")) {
+		t.Fatalf("tail range = %q, %v", got, err)
+	}
+	if _, err := o.GetRange(c, "k", -1, 2); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+	if _, err := o.GetRange(c, "nope", 0, 1); err == nil {
+		t.Fatal("missing key should fail")
+	}
+}
+
+func TestObjectStoreRangeCheaperThanFull(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := NewObjectStore(cfg)
+	setup := sim.NewClock()
+	o.Put(setup, "big", make([]byte, 1<<24))
+	full, partial := sim.NewClock(), sim.NewClock()
+	o.Get(full, "big")
+	o.GetRange(partial, "big", 0, 4096)
+	if !(partial.Now() < full.Now()) {
+		t.Fatalf("range read (%v) should be cheaper than full read (%v)", partial.Now(), full.Now())
+	}
+}
+
+func TestObjectStoreDelete(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	o := NewObjectStore(cfg)
+	c := sim.NewClock()
+	o.Put(c, "k", []byte("x"))
+	o.Delete(c, "k")
+	if _, err := o.Get(c, "k"); err != ErrNoSuchObject {
+		t.Fatal("delete did not remove object")
+	}
+	if len(o.Keys()) != 0 {
+		t.Fatal("keys not empty after delete")
+	}
+}
+
+func TestTypicalLatencyOrdering(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	var timers = []AccessTimer{NewDRAM(cfg, 1), NewPM(cfg, 1, false), NewSSD(cfg, 1)}
+	prev := timers[0].TypicalLatency(4096)
+	for _, at := range timers[1:] {
+		cur := at.TypicalLatency(4096)
+		if cur <= prev {
+			t.Fatalf("tier ordering violated: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}

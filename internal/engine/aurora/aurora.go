@@ -1,0 +1,237 @@
+// Package aurora implements the Aurora architecture of §2.1: software-level
+// disaggregation with "the log is the database". The single writer node
+// ships only redo log records — never pages — to a 6-replica / 3-AZ
+// storage volume with a 4/6 write quorum; storage nodes materialize pages
+// from the log asynchronously. Reader replicas share the same volume and
+// serve reads at their replica LSN. Crash recovery is nearly instant: a
+// new writer only needs the durable volume LSN (no redo replay on the
+// compute node).
+package aurora
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/storagenode"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Engine is the Aurora-style engine: one writer, optional readers, shared
+// quorum volume.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	Volume *storagenode.Volume
+	log    *wal.Log
+	locks  *txn.LockTable
+	stats  engine.Stats
+
+	pool    *buffer.Pool // writer-node cache
+	readers []*buffer.Pool
+
+	mu         sync.Mutex
+	durableLSN wal.LSN
+	nextTx     atomic.Uint64
+	crashed    atomic.Bool
+}
+
+// New creates the engine with the canonical volume, a writer cache of
+// poolPages frames, and `readers` reader replicas with caches of the same
+// size.
+func New(cfg *sim.Config, layout heap.Layout, poolPages, readers int) *Engine {
+	e := &Engine{
+		cfg:    cfg,
+		layout: layout,
+		Volume: storagenode.NewAuroraVolume(cfg, layout),
+		log:    wal.NewLog(),
+		locks:  txn.NewLockTable(),
+	}
+	e.pool = buffer.NewPool(cfg, poolPages, e.fetcherAt(func() wal.LSN { return e.DurableLSN() }), nil)
+	for i := 0; i < readers; i++ {
+		e.readers = append(e.readers, buffer.NewPool(cfg, poolPages, e.fetcherAt(e.DurableLSN), nil))
+	}
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "aurora" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// DurableLSN reports the write-quorum-durable LSN.
+func (e *Engine) DurableLSN() wal.LSN {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.durableLSN
+}
+
+// fetcherAt builds a buffer-pool fetcher that reads pages from the volume
+// at the given LSN floor.
+func (e *Engine) fetcherAt(minLSN func() wal.LSN) buffer.Fetcher {
+	return func(c *sim.Clock, id page.ID) ([]byte, error) {
+		data, err := e.Volume.ReadPage(c, id, minLSN())
+		if err != nil {
+			return nil, err
+		}
+		e.stats.StorageOps.Add(1)
+		e.stats.NetMsgs.Add(1)
+		e.stats.NetBytes.Add(int64(len(data)))
+		return data, nil
+	}
+}
+
+func (e *Engine) readKey(c *sim.Clock, pool *buffer.Pool) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		if pool.Contains(e.layout.PageOf(key)) {
+			e.stats.CacheHits.Add(1)
+		} else {
+			e.stats.CacheMisses.Add(1)
+		}
+		data, err := pool.Get(c, e.layout.PageOf(key))
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine (runs on the writer node).
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c, e.pool))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	// Read-only work proceeded on the read quorum; committing writes
+	// requires the write quorum.
+	if !e.Volume.WriteAvailable() {
+		e.stats.Aborts.Add(1)
+		return engine.ErrUnavailable
+	}
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	// Build and ship ONLY log records (log-as-the-database).
+	var recs []wal.Record
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		rec.LSN = e.log.Append(rec)
+		lastLSN = rec.LSN
+		logBytes += rec.EncodedSize()
+		recs = append(recs, rec)
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	commit.LSN = e.log.Append(commit)
+	lastLSN = commit.LSN
+	logBytes += commit.EncodedSize()
+	recs = append(recs, commit)
+
+	if err := e.Volume.AppendLog(c, recs); err != nil {
+		e.stats.Aborts.Add(1)
+		return engine.ErrUnavailable
+	}
+	// The writer fans the records out to every alive replica (6-way
+	// under full health); all copies cross the network.
+	fanout := int64(e.Volume.Alive())
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.stats.NetBytes.Add(int64(logBytes) * fanout)
+	e.stats.NetMsgs.Add(fanout)
+
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	e.mu.Unlock()
+	// Apply to the writer's cache (pages materialize lazily in storage).
+	for _, k := range keys {
+		key := k
+		if e.pool.Contains(e.layout.PageOf(k)) {
+			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// ReadReplica implements engine.Reader: a read-only transaction on reader
+// replica idx, served from its cache backed by the shared volume.
+func (e *Engine) ReadReplica(c *sim.Clock, idx int, fn func(tx engine.Tx) error) error {
+	pool := e.readers[idx]
+	st := engine.NewStagedTx(e.readKey(c, pool))
+	if err := fn(st); err != nil {
+		return err
+	}
+	if !st.Empty() {
+		return engine.ErrReadOnly
+	}
+	return nil
+}
+
+// InvalidateReader drops a page from a reader cache (the writer sends
+// cache-invalidation notices alongside the log stream).
+func (e *Engine) InvalidateReader(idx int, id page.ID) { e.readers[idx].Invalidate(id) }
+
+// Crash implements engine.Recoverer: the writer node dies; the volume and
+// its materialized pages survive.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.pool.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: Aurora recovery — poll a read
+// quorum for the durable volume LSN; no compute-side redo (storage nodes
+// materialize on demand).
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	lsn, err := e.Volume.FindHighLSN(c)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.durableLSN = lsn
+	e.mu.Unlock()
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// Pool exposes the writer cache.
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// Log exposes the authoritative log (replica repair, tests).
+func (e *Engine) Log() *wal.Log { return e.log }

@@ -1,0 +1,122 @@
+package aurora
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 1)
+	})
+}
+
+func TestOnlyLogsShipped(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 0)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 50; i++ {
+		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.PageBytes.Load() != 0 {
+		t.Fatalf("aurora shipped %d page bytes; log-as-the-database means zero", st.PageBytes.Load())
+	}
+	// Bytes per commit should be on the order of the log records, far
+	// below a page.
+	if bpc := st.BytesPerCommit(); bpc > float64(layout.PageSize)/2 {
+		t.Fatalf("bytes/commit = %.0f, suspiciously page-like", bpc)
+	}
+}
+
+func TestReaderReplicaSeesCommittedData(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 2)
+	c := sim.NewClock()
+	want := make([]byte, layout.ValSize)
+	binary.LittleEndian.PutUint64(want, 4242)
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(7, want) }); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 2; idx++ {
+		err := e.ReadReplica(c, idx, func(tx engine.Tx) error {
+			v, err := tx.Read(7)
+			if err != nil {
+				return err
+			}
+			if binary.LittleEndian.Uint64(v) != 4242 {
+				t.Errorf("replica %d read %d", idx, binary.LittleEndian.Uint64(v))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writes on a replica are rejected.
+	err := e.ReadReplica(c, 0, func(tx engine.Tx) error { return tx.Write(1, want) })
+	if err != engine.ErrReadOnly {
+		t.Fatalf("replica write: %v", err)
+	}
+}
+
+func TestSurvivesAZFailure(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 0)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) })
+	e.Volume.FailAZ(0)
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(2, val) }); err != nil {
+		t.Fatalf("write quorum should survive AZ loss: %v", err)
+	}
+	// One more node: writes must stop, reads continue.
+	e.Volume.Replicas[2].Fail()
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(3, val) }); err != engine.ErrUnavailable {
+		t.Fatalf("write with 3/6 alive: %v", err)
+	}
+	e.Pool().InvalidateAll() // force a storage read
+	if err := e.Execute(c, func(tx engine.Tx) error {
+		_, err := tx.Read(1)
+		return err
+	}); err != nil {
+		t.Fatalf("read quorum should survive AZ+1: %v", err)
+	}
+}
+
+func TestRecoveryIsNearInstant(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 0)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 200; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	e.Crash()
+	rc := sim.NewClock()
+	d, err := e.Recover(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery is one quorum poll: well under a millisecond, and
+	// independent of history length.
+	if d > 1_000_000 { // 1ms
+		t.Fatalf("aurora recovery took %v", d)
+	}
+	if e.DurableLSN() == 0 {
+		t.Fatal("durable LSN not restored")
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 1)
+	})
+}

@@ -1,0 +1,107 @@
+// Package engine defines the common contract implemented by every OLTP
+// engine in the repository (monolithic, shared-nothing, Aurora, PolarDB,
+// Socrates, Taurus, PolarDB Serverless, LegoBase, PilotDB) so that
+// workloads, failure drills, and experiments run unchanged across
+// architectures.
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Tx is the per-transaction handle given to workload closures.
+type Tx interface {
+	// Read returns the current value of key.
+	Read(key uint64) ([]byte, error)
+	// Write stages an update of key to val (visible at commit).
+	Write(key uint64, val []byte) error
+}
+
+// Engine is a transactional KV engine over a fixed keyspace of fixed-size
+// values (the heap.Layout record model).
+type Engine interface {
+	// Name identifies the architecture in experiment tables.
+	Name() string
+	// Execute runs fn as one transaction on the worker's clock,
+	// committing on nil return. Conflicts surface as ErrConflict (the
+	// caller may retry with a fresh transaction).
+	Execute(c *sim.Clock, fn func(tx Tx) error) error
+	// Stats exposes the engine's traffic counters.
+	Stats() *Stats
+}
+
+// Recoverer is implemented by engines that support crash-recovery drills.
+type Recoverer interface {
+	// Crash simulates losing all volatile compute-node state.
+	Crash()
+	// Recover rebuilds a usable compute node, charging recovery work to
+	// the clock, and returns the recovery time.
+	Recover(c *sim.Clock) (time.Duration, error)
+}
+
+// Reader is implemented by engines with read replicas.
+type Reader interface {
+	// ReadReplica executes a read-only transaction on replica idx.
+	ReadReplica(c *sim.Clock, idx int, fn func(tx Tx) error) error
+}
+
+// Common engine errors.
+var (
+	ErrConflict    = errors.New("engine: transaction conflict")
+	ErrReadOnly    = errors.New("engine: read-only replica")
+	ErrUnavailable = errors.New("engine: service unavailable")
+)
+
+// Stats counts cross-component traffic attributable to the engine. All
+// fields are atomic; Stats is shared freely.
+type Stats struct {
+	Commits     atomic.Int64
+	Aborts      atomic.Int64
+	NetBytes    atomic.Int64 // bytes crossing the network fabric
+	NetMsgs     atomic.Int64
+	LogBytes    atomic.Int64 // bytes of log shipped
+	PageBytes   atomic.Int64 // bytes of full pages shipped
+	StorageOps  atomic.Int64
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.Commits.Store(0)
+	s.Aborts.Store(0)
+	s.NetBytes.Store(0)
+	s.NetMsgs.Store(0)
+	s.LogBytes.Store(0)
+	s.PageBytes.Store(0)
+	s.StorageOps.Store(0)
+	s.CacheHits.Store(0)
+	s.CacheMisses.Store(0)
+}
+
+// BytesPerCommit reports average network bytes per committed transaction —
+// the E1 headline metric.
+func (s *Stats) BytesPerCommit() float64 {
+	c := s.Commits.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.NetBytes.Load()) / float64(c)
+}
+
+// RunClosed executes fn with automatic retry on conflicts, up to retries
+// attempts; other errors pass through.
+func RunClosed(e Engine, c *sim.Clock, retries int, fn func(tx Tx) error) error {
+	var err error
+	for i := 0; i <= retries; i++ {
+		err = e.Execute(c, fn)
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+type flakyEngine struct {
+	failures int
+	calls    int
+	stats    Stats
+}
+
+func (f *flakyEngine) Name() string  { return "flaky" }
+func (f *flakyEngine) Stats() *Stats { return &f.stats }
+
+type nopTx struct{}
+
+func (nopTx) Read(uint64) ([]byte, error) { return nil, nil }
+func (nopTx) Write(uint64, []byte) error  { return nil }
+
+func (f *flakyEngine) Execute(c *sim.Clock, fn func(tx Tx) error) error {
+	f.calls++
+	if f.failures > 0 {
+		f.failures--
+		return ErrConflict
+	}
+	if err := fn(nopTx{}); err != nil {
+		return err
+	}
+	f.stats.Commits.Add(1)
+	return nil
+}
+
+func TestRunClosedRetriesConflicts(t *testing.T) {
+	e := &flakyEngine{failures: 2}
+	err := RunClosed(e, sim.NewClock(), 3, func(tx Tx) error { return nil })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if e.calls != 3 {
+		t.Fatalf("calls = %d, want 3", e.calls)
+	}
+}
+
+func TestRunClosedGivesUp(t *testing.T) {
+	e := &flakyEngine{failures: 100}
+	err := RunClosed(e, sim.NewClock(), 2, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunClosedPassesThroughOtherErrors(t *testing.T) {
+	e := &flakyEngine{}
+	boom := errors.New("boom")
+	err := RunClosed(e, sim.NewClock(), 5, func(tx Tx) error { return boom })
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if e.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on app error)", e.calls)
+	}
+}
+
+func TestStatsBytesPerCommit(t *testing.T) {
+	var s Stats
+	if s.BytesPerCommit() != 0 {
+		t.Fatal("empty stats should be zero-safe")
+	}
+	s.Commits.Add(4)
+	s.NetBytes.Add(400)
+	if s.BytesPerCommit() != 100 {
+		t.Fatalf("bytes/commit = %v", s.BytesPerCommit())
+	}
+	s.Reset()
+	if s.Commits.Load() != 0 || s.NetBytes.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}

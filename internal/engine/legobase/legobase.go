@@ -1,0 +1,314 @@
+// Package legobase implements the LegoBase architecture of §3.1: a
+// cloud-native engine for memory disaggregation with (1) two-level cache
+// management — a small compute-local LRU in front of a large remote-memory
+// LRU — and (2) a two-tier ARIES protocol that checkpoints to remote
+// memory frequently and to storage rarely, so a crashed compute node
+// recovers from remote memory (fast) instead of replaying against storage
+// (slow).
+package legobase
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/device"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Engine is the LegoBase-style engine.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	// Tiers is the two-level cache (local LRU + remote-memory LRU).
+	Tiers   *buffer.TwoTier
+	MemNode *memnode.Pool
+	ssd     *device.SSD
+	log     *wal.Log
+	locks   *txn.LockTable
+	stats   engine.Stats
+
+	// CheckpointRemoteEvery / CheckpointStorageEvery control the two
+	// ARIES tiers (commit counts; 0 disables).
+	CheckpointRemoteEvery  int
+	CheckpointStorageEvery int
+
+	mu sync.Mutex
+	// disk is durable page storage.
+	disk map[page.ID][]byte
+	// remoteCkptLSN / storageCkptLSN are the two checkpoint horizons.
+	remoteCkptLSN  wal.LSN
+	storageCkptLSN wal.LSN
+	durableLSN     wal.LSN
+	commitCount    int
+	nextTx         atomic.Uint64
+	crashed        atomic.Bool
+}
+
+// New creates the engine: a local cache of localPages frames backed by a
+// remote pool of remotePages frames backed by SSD storage.
+func New(cfg *sim.Config, layout heap.Layout, localPages, remotePages int) *Engine {
+	mn := memnode.New(cfg, "lego-mem", remotePages*layout.PageSize+1024)
+	e := &Engine{
+		cfg:                    cfg,
+		layout:                 layout,
+		MemNode:                mn,
+		ssd:                    device.NewSSD(cfg, 32),
+		log:                    wal.NewLog(),
+		locks:                  txn.NewLockTable(),
+		disk:                   make(map[page.ID][]byte),
+		CheckpointRemoteEvery:  32,
+		CheckpointStorageEvery: 512,
+	}
+	base, err := mn.Alloc(uint64(remotePages * layout.PageSize))
+	if err != nil {
+		panic("legobase: remote pool sizing bug: " + err.Error())
+	}
+	remote := buffer.NewRemotePool(cfg, mn.Node(), nil, base, remotePages, layout.PageSize)
+	e.Tiers = buffer.NewTwoTier(cfg, localPages, remote, e.fetchFromStorage)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "legobase" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+func (e *Engine) fetchFromStorage(c *sim.Clock, id page.ID) ([]byte, error) {
+	e.mu.Lock()
+	data, ok := e.disk[id]
+	e.mu.Unlock()
+	var out []byte
+	if ok {
+		out = make([]byte, len(data))
+		copy(out, data)
+	} else {
+		out = e.layout.FormatPage(id).Bytes()
+	}
+	// Storage is network-attached (TCP) + SSD.
+	c.Advance(e.cfg.TCP.Cost(len(out)))
+	e.ssd.Read(c, len(out))
+	e.stats.StorageOps.Add(1)
+	e.stats.NetBytes.Add(int64(len(out)))
+	e.stats.NetMsgs.Add(1)
+	// Replay log tail newer than the page image.
+	pg := page.Wrap(out)
+	for _, r := range e.log.Since(wal.LSN(pg.LSN())) {
+		if r.PageID == uint64(id) && r.Type == wal.TypeUpdate {
+			e.layout.WriteValue(out, r.Key, r.After, uint64(r.LSN))
+			c.Advance(e.cfg.CPU.Cost(len(r.After)))
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		data, err := e.Tiers.Get(c, e.layout.PageOf(key))
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		rec.LSN = e.log.Append(rec)
+		lastLSN = rec.LSN
+		logBytes += rec.EncodedSize()
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	commit.LSN = e.log.Append(commit)
+	lastLSN = commit.LSN
+	logBytes += commit.EncodedSize()
+	// Durable log: network round trip + SSD append.
+	c.Advance(e.cfg.TCP.Cost(logBytes))
+	e.ssd.Write(c, logBytes)
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.stats.NetBytes.Add(int64(logBytes))
+	e.stats.NetMsgs.Add(1)
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	e.commitCount++
+	doRemote := e.CheckpointRemoteEvery > 0 && e.commitCount%e.CheckpointRemoteEvery == 0
+	doStorage := e.CheckpointStorageEvery > 0 && e.commitCount%e.CheckpointStorageEvery == 0
+	e.mu.Unlock()
+	for _, k := range keys {
+		key := k
+		if err := e.Tiers.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+		}); err != nil {
+			return err
+		}
+	}
+	if doRemote {
+		e.CheckpointRemote(c)
+	}
+	if doStorage {
+		e.CheckpointStorage(c)
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// CheckpointRemote is the fast ARIES tier: dirty local pages are written
+// to the remote memory pool (cheap RDMA), advancing the remote horizon.
+func (e *Engine) CheckpointRemote(c *sim.Clock) error {
+	for _, id := range e.Tiers.Local.DirtyIDs() {
+		data, err := e.Tiers.Local.Get(c, id)
+		if err != nil {
+			return err
+		}
+		if err := e.Tiers.Remote.Put(c, id, data); err != nil {
+			return err
+		}
+	}
+	// The pages are now safe in remote memory; mark them clean locally
+	// so they are not re-demoted.
+	e.Tiers.Local.FlushAll(sim.NewClock())
+	e.mu.Lock()
+	e.remoteCkptLSN = e.durableLSN
+	e.mu.Unlock()
+	return nil
+}
+
+// CheckpointStorage is the slow ARIES tier: remote-memory pages are made
+// durable on storage, advancing the storage horizon and truncating the log.
+func (e *Engine) CheckpointStorage(c *sim.Clock) error {
+	for _, id := range e.Tiers.Remote.IDs() {
+		buf := make([]byte, e.layout.PageSize)
+		ok, err := e.Tiers.Remote.Get(c, id, buf)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		e.mu.Lock()
+		e.disk[id] = cp
+		e.mu.Unlock()
+		c.Advance(e.cfg.TCP.Cost(len(buf)))
+		e.ssd.Write(c, len(buf))
+		e.stats.PageBytes.Add(int64(len(buf)))
+	}
+	e.mu.Lock()
+	e.storageCkptLSN = e.durableLSN
+	e.mu.Unlock()
+	return nil
+}
+
+// Crash implements engine.Recoverer: the compute node dies; local cache is
+// lost, remote memory and storage survive.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.Tiers.Local.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: LegoBase recovery — repopulate from
+// REMOTE MEMORY (RDMA reads of the checkpointed pages) and replay only the
+// log tail since the remote checkpoint.
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	from := e.remoteCkptLSN
+	e.mu.Unlock()
+	// Replay the short tail; pages come from remote memory on demand
+	// (charged as RDMA reads inside Tiers.Get).
+	recs := e.log.Since(from)
+	for _, r := range recs {
+		if r.Type != wal.TypeUpdate {
+			continue
+		}
+		rec := r
+		if err := e.Tiers.Mutate(c, page.ID(r.PageID), func(data []byte) error {
+			if wal.LSN(page.Wrap(data).LSN()) >= rec.LSN {
+				return nil
+			}
+			return e.layout.WriteValue(data, rec.Key, rec.After, uint64(rec.LSN))
+		}); err != nil {
+			return 0, err
+		}
+	}
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// RecoverFromStorageOnly is the ablation baseline for E9: ignore remote
+// memory and run classic ARIES from the storage checkpoint.
+func (e *Engine) RecoverFromStorageOnly(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	from := e.storageCkptLSN
+	e.mu.Unlock()
+	recs := e.log.Since(from)
+	logBytes := 0
+	for i := range recs {
+		logBytes += recs[i].EncodedSize()
+	}
+	c.Advance(e.cfg.TCP.Cost(logBytes))
+	e.ssd.Read(c, logBytes)
+	touched := map[page.ID]bool{}
+	for _, r := range recs {
+		if r.Type != wal.TypeUpdate {
+			continue
+		}
+		id := page.ID(r.PageID)
+		if !touched[id] {
+			touched[id] = true
+			// Page fetched from storage, not remote memory.
+			if _, err := e.fetchFromStorage(c, id); err != nil {
+				return 0, err
+			}
+		}
+		c.Advance(e.cfg.CPU.Cost(len(r.After)))
+	}
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}

@@ -1,0 +1,108 @@
+package legobase
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 8, 256)
+	})
+}
+
+func TestTwoTierCacheAbsorbsWorkingSet(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 4, 256)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	// Working set of ~40 pages: far beyond local (4) but within remote.
+	keys := 40 * uint64(layout.PerPage)
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < keys; i += 7 {
+			e.Execute(c, func(tx engine.Tx) error {
+				_, err := tx.Read(i)
+				if err != nil {
+					return err
+				}
+				return tx.Write(i, val)
+			})
+		}
+	}
+	l, r, s := e.Tiers.TierStats()
+	if r == 0 {
+		t.Fatal("remote tier never hit")
+	}
+	if hr := e.Tiers.CombinedHitRatio(); hr < 0.5 {
+		t.Fatalf("combined hit ratio %.2f (l=%d r=%d s=%d)", hr, l, r, s)
+	}
+}
+
+func TestRecoveryFromRemoteMemoryBeatsStorage(t *testing.T) {
+	// E9's second claim: two-tier ARIES recovery from remote memory is
+	// much faster than classic ARIES from storage.
+	layout := enginetest.Layout(t)
+	build := func() *Engine {
+		e := New(sim.DefaultConfig(), layout, 8, 256)
+		e.CheckpointRemoteEvery = 16
+		e.CheckpointStorageEvery = 200
+		c := sim.NewClock()
+		val := make([]byte, layout.ValSize)
+		for i := uint64(0); i < 400; i++ {
+			e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%100, val) })
+		}
+		e.Crash()
+		return e
+	}
+	fast := build()
+	dFast, err := fast.Recover(sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := build()
+	dSlow, err := slow.RecoverFromStorageOnly(sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dFast < dSlow/2) {
+		t.Fatalf("remote-memory recovery (%v) should be ≫ faster than storage ARIES (%v)", dFast, dSlow)
+	}
+}
+
+func TestDataSurvivesCrashViaRemoteCheckpoint(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 4, 128)
+	e.CheckpointRemoteEvery = 8
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	val[0] = 0xEE
+	for i := uint64(0); i < 64; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	e.Crash()
+	if _, err := e.Recover(sim.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i += 9 {
+		key := i
+		e.Execute(c, func(tx engine.Tx) error {
+			v, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			if v[0] != 0xEE {
+				t.Errorf("key %d lost: %v", key, v[0])
+			}
+			return nil
+		})
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 8, 256)
+	})
+}

@@ -1,0 +1,225 @@
+// Package monolithic implements the baseline the tutorial contrasts every
+// disaggregated design against (§1): a single-server database with a local
+// buffer pool, a local write-ahead log fsynced to the server's SSD, and
+// pages on the same SSD. No network is involved — but there is no
+// elasticity either, and recovery must replay the local log against the
+// on-disk pages.
+package monolithic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/device"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Engine is the monolithic baseline.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	ssd    *device.SSD
+	pool   *buffer.Pool
+	log    *wal.Log
+	locks  *txn.LockTable
+	stats  engine.Stats
+
+	mu sync.Mutex
+	// disk is the durable page store (post-checkpoint images).
+	disk map[page.ID][]byte
+	// durableLSN is the highest LSN fsynced to the SSD log.
+	durableLSN wal.LSN
+	// checkpointLSN is the LSN covered by on-disk pages.
+	checkpointLSN wal.LSN
+	nextTx        atomic.Uint64
+	crashed       atomic.Bool
+}
+
+// New creates a monolithic engine with a buffer pool of poolPages frames.
+func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
+	e := &Engine{
+		cfg:    cfg,
+		layout: layout,
+		ssd:    device.NewSSD(cfg, 32),
+		log:    wal.NewLog(),
+		locks:  txn.NewLockTable(),
+		disk:   make(map[page.ID][]byte),
+	}
+	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, e.writebackPage)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "monolithic" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
+	e.mu.Lock()
+	data, ok := e.disk[id]
+	e.mu.Unlock()
+	e.stats.StorageOps.Add(1)
+	if !ok {
+		data = e.layout.FormatPage(id).Bytes()
+	}
+	e.ssd.Read(c, e.layout.PageSize)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (e *Engine) writebackPage(c *sim.Clock, id page.ID, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.mu.Lock()
+	e.disk[id] = cp
+	e.mu.Unlock()
+	e.ssd.Write(c, len(data))
+	e.stats.StorageOps.Add(1)
+	return nil
+}
+
+func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	// Commit-time 2PL on the write set (sorted: deadlock-free).
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	// Log, fsync, apply.
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		lastLSN = e.log.Append(rec)
+		logBytes += rec.EncodedSize()
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	lastLSN = e.log.Append(commit)
+	logBytes += commit.EncodedSize()
+	e.ssd.Write(c, logBytes) // group-commit fsync
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	e.mu.Unlock()
+	for _, k := range keys {
+		key := k
+		if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+		}); err != nil {
+			return err
+		}
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// Checkpoint flushes all dirty pages and truncates the log.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	if err := e.pool.FlushAll(c); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.checkpointLSN = e.durableLSN
+	e.mu.Unlock()
+	e.log.TruncateBefore(e.checkpointLSN + 1)
+	return nil
+}
+
+// Crash implements engine.Recoverer: the buffer pool is lost; the SSD
+// (log + checkpointed pages) survives.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.pool.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: ARIES-style redo of the log tail
+// against on-disk pages.
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	ckpt := e.checkpointLSN
+	e.mu.Unlock()
+	recs := e.log.Since(ckpt)
+	// Read the log tail from SSD.
+	logBytes := 0
+	for i := range recs {
+		logBytes += recs[i].EncodedSize()
+	}
+	e.ssd.Read(c, logBytes)
+	// Per-page LSN floors, each page fetched once.
+	floors := make(map[uint64]wal.LSN)
+	pageLSN := func(pid uint64) wal.LSN {
+		if lsn, ok := floors[pid]; ok {
+			return lsn
+		}
+		data, err := e.fetchPage(c, page.ID(pid))
+		if err != nil {
+			floors[pid] = 0
+			return 0
+		}
+		lsn := wal.LSN(page.Wrap(data).LSN())
+		floors[pid] = lsn
+		return lsn
+	}
+	applied := wal.Redo(recs, pageLSN, func(r wal.Record) {
+		e.pool.Mutate(c, page.ID(r.PageID), func(data []byte) error {
+			return e.layout.WriteValue(data, r.Key, r.After, uint64(r.LSN))
+		})
+	})
+	_ = applied
+	if err := e.pool.FlushAll(c); err != nil {
+		return 0, err
+	}
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// Pool exposes the buffer pool (tests and cache-metric experiments).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }

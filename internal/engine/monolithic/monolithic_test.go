@@ -1,0 +1,97 @@
+package monolithic
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+	})
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	e := New(cfg, enginetest.Layout(t), 64)
+	c := sim.NewClock()
+	for i := uint64(0); i < 50; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+	}
+	before := e.log.Len()
+	if err := e.Checkpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	if e.log.Len() >= before {
+		t.Fatalf("log not truncated: %d -> %d", before, e.log.Len())
+	}
+	// Data survives crash+recovery through the checkpoint.
+	e.Crash()
+	if _, err := e.Recover(sim.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	e.Execute(c, func(tx engine.Tx) error {
+		v, err := tx.Read(3)
+		if err != nil {
+			return err
+		}
+		if len(v) != 64 {
+			t.Error("value lost through checkpoint")
+		}
+		return nil
+	})
+}
+
+func TestRecoveryReplaysOnlyTail(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	e := New(cfg, enginetest.Layout(t), 64)
+	c := sim.NewClock()
+	for i := uint64(0); i < 100; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
+	}
+	e.Checkpoint(c)
+	// A few more post-checkpoint commits.
+	for i := uint64(0); i < 5; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+	}
+	e.Crash()
+	short, err := e.Recover(sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a checkpoint the same history replays everything.
+	e2 := New(cfg, enginetest.Layout(t), 64)
+	c2 := sim.NewClock()
+	for i := uint64(0); i < 105; i++ {
+		e2.Execute(c2, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
+	}
+	e2.Crash()
+	long, err := e2.Recover(sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(short < long) {
+		t.Fatalf("checkpointed recovery (%v) should beat full replay (%v)", short, long)
+	}
+}
+
+func TestNoNetworkTraffic(t *testing.T) {
+	e := New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+	c := sim.NewClock()
+	for i := uint64(0); i < 20; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+	}
+	if e.Stats().NetBytes.Load() != 0 {
+		t.Fatalf("monolithic engine used the network: %d bytes", e.Stats().NetBytes.Load())
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+	})
+}

@@ -1,0 +1,303 @@
+// Package pilotdb implements the PilotDB architecture of §2.3: a
+// disaggregated PERSISTENT MEMORY layer holds the log, giving transactions
+// near-memory-speed persistence at a fraction of DRAM-pool cost. Its two
+// signature optimizations are modeled as switchable options so E8 can
+// ablate them:
+//
+//   - Compute-node-driven logging: the compute node appends log entries to
+//     remote PM with one-sided RDMA (no PM-server CPU on the commit path).
+//     The ablation uses server-driven two-sided appends instead.
+//   - Optimistic page reads: the compute node reads pages from the page
+//     store without coordinating on freshness, validates the page LSN, and
+//     repairs a stale page by fetching the log tail from PM and replaying
+//     it locally. The ablation forces coordinated (fresh) reads.
+package pilotdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/storagenode"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Options toggle PilotDB's two optimizations.
+type Options struct {
+	ComputeDrivenLogging bool
+	OptimisticReads      bool
+}
+
+// Pilot returns the full PilotDB configuration.
+func Pilot() Options { return Options{ComputeDrivenLogging: true, OptimisticReads: true} }
+
+// Naive returns the server-driven, coordinated-read baseline.
+func Naive() Options { return Options{} }
+
+// Engine is the PilotDB-style engine.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	opt    Options
+	// PMLog is the disaggregated persistent-memory log layer.
+	PMLog *storagenode.LogStore
+	// PageStore materializes pages asynchronously.
+	PageStore *storagenode.Replica
+
+	log   *wal.Log
+	locks *txn.LockTable
+	stats engine.Stats
+	pool  *buffer.Pool
+
+	// Validations / Repairs count optimistic-read outcomes.
+	Validations atomic.Int64
+	Repairs     atomic.Int64
+
+	// LagEvery delays page-store ingestion by one batch every N commits
+	// to surface stale optimistic reads (0 = always lag by one commit).
+	mu         sync.Mutex
+	pending    []wal.Record // records not yet given to the page store
+	pageLSN    map[page.ID]wal.LSN
+	durableLSN wal.LSN
+	nextTx     atomic.Uint64
+	crashed    atomic.Bool
+}
+
+// New creates the engine.
+func New(cfg *sim.Config, layout heap.Layout, poolPages int, opt Options) *Engine {
+	e := &Engine{
+		cfg:       cfg,
+		layout:    layout,
+		opt:       opt,
+		PMLog:     storagenode.NewLogStore(cfg, storagenode.MediumPM),
+		PageStore: storagenode.NewReplica(cfg, "ps-0", 0, layout, 1),
+		log:       wal.NewLog(),
+		locks:     txn.NewLockTable(),
+		pageLSN:   make(map[page.ID]wal.LSN),
+	}
+	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	if e.opt.ComputeDrivenLogging && e.opt.OptimisticReads {
+		return "pilotdb"
+	}
+	return "pilotdb-naive"
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// expectedLSN is the LSN a fresh copy of the page must carry.
+func (e *Engine) expectedLSN(id page.ID) wal.LSN {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pageLSN[id]
+}
+
+// fetchPage is the optimistic (or coordinated) page read.
+func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
+	want := e.expectedLSN(id)
+	if e.opt.OptimisticReads {
+		// Aggressive read: no freshness coordination.
+		data, err := e.PageStore.ReadPage(c, id, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.StorageOps.Add(1)
+		e.stats.NetBytes.Add(int64(len(data)))
+		e.stats.NetMsgs.Add(1)
+		e.Validations.Add(1)
+		if wal.LSN(page.Wrap(data).LSN()) >= want {
+			return data, nil
+		}
+		// Stale: repair locally from the PM log's per-page chain.
+		e.Repairs.Add(1)
+		recs, err := e.PMLog.SincePage(c, uint64(id), wal.LSN(page.Wrap(data).LSN()))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if r.Type == wal.TypeUpdate {
+				e.layout.WriteValue(data, r.Key, r.After, uint64(r.LSN))
+				c.Advance(e.cfg.CPU.Cost(len(r.After)))
+			}
+		}
+		return data, nil
+	}
+	// Coordinated read: push pending records to the page store first
+	// (synchronously, charged to the reader), then read fresh.
+	e.mu.Lock()
+	pend := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	if len(pend) > 0 {
+		if err := e.PageStore.Ingest(c, pend); err != nil {
+			return nil, err
+		}
+	}
+	data, err := e.PageStore.ReadPage(c, id, want)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.StorageOps.Add(1)
+	e.stats.NetBytes.Add(int64(len(data)))
+	e.stats.NetMsgs.Add(1)
+	return data, nil
+}
+
+func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		id := e.layout.PageOf(key)
+		if e.pool.Contains(id) {
+			e.stats.CacheHits.Add(1)
+			data, err := e.pool.Get(c, id)
+			if err != nil {
+				return nil, err
+			}
+			// Cached pages can also be stale relative to the writer's
+			// own commits; validate by LSN and repair via the pool.
+			if wal.LSN(page.Wrap(data).LSN()) >= e.expectedLSN(id) {
+				return e.layout.ReadValue(data, key)
+			}
+			e.pool.Invalidate(id)
+		}
+		e.stats.CacheMisses.Add(1)
+		data, err := e.pool.Get(c, id)
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	var recs []wal.Record
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		rec.LSN = e.log.Append(rec)
+		lastLSN = rec.LSN
+		logBytes += rec.EncodedSize()
+		recs = append(recs, rec)
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	commit.LSN = e.log.Append(commit)
+	lastLSN = commit.LSN
+	logBytes += commit.EncodedSize()
+	recs = append(recs, commit)
+
+	// Persistence on the PM layer.
+	if e.opt.ComputeDrivenLogging {
+		// One-sided RDMA append (the LogStore PM medium charges
+		// exactly that).
+		if err := e.PMLog.Append(c, recs); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+	} else {
+		// Server-driven: a two-sided RPC engages the PM server CPU.
+		c.Advance(e.cfg.RDMARPC.Cost(logBytes) + e.cfg.RemoteCPU)
+		if err := e.PMLog.Append(sim.NewClock(), recs); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+		c.Advance(e.cfg.PMWrite.Cost(logBytes))
+	}
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.stats.NetBytes.Add(int64(logBytes))
+	e.stats.NetMsgs.Add(1)
+
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	for _, k := range keys {
+		id := e.layout.PageOf(k)
+		if lastLSN > e.pageLSN[id] {
+			e.pageLSN[id] = lastLSN
+		}
+	}
+	// Page-store ingestion is asynchronous: the previous pending batch
+	// goes out now (background), the new one waits — so optimistic
+	// readers genuinely race materialization.
+	prev := e.pending
+	e.pending = recs
+	e.mu.Unlock()
+	if len(prev) > 0 {
+		e.PageStore.Ingest(sim.NewClock(), prev)
+	}
+	for _, k := range keys {
+		key := k
+		if e.pool.Contains(e.layout.PageOf(k)) {
+			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// Crash implements engine.Recoverer.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.pool.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: transactions persisted in the PM
+// log survive; the compute node learns the durable LSN with one PM read.
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	e.durableLSN = e.PMLog.HighLSN()
+	e.mu.Unlock()
+	c.Advance(e.cfg.RDMA.Cost(64))
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// Pool exposes the compute cache.
+func (e *Engine) Pool() *buffer.Pool { return e.pool }

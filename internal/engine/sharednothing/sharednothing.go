@@ -1,0 +1,254 @@
+// Package sharednothing implements the classic distributed baseline the
+// tutorial contrasts the shared architectures with (§1): data is hash-
+// partitioned across N server nodes, each owning its shard's pages, log
+// and locks. Single-partition transactions commit locally; cross-partition
+// transactions pay two-phase commit. Elastic rescaling must physically
+// move data between nodes — the cost shared-storage designs avoid (E4).
+package sharednothing
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/device"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// partition is one shared-nothing node: its shard of the keyspace with
+// local durability.
+type partition struct {
+	mu    sync.Mutex
+	data  map[uint64][]byte
+	log   *wal.Log
+	ssd   *device.SSD
+	locks *txn.LockTable
+}
+
+// Engine is the shared-nothing engine.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	stats  engine.Stats
+
+	mu     sync.RWMutex
+	parts  []*partition
+	nextTx atomic.Uint64
+	// MovedBytes accumulates rebalancing traffic (E4 metric).
+	MovedBytes atomic.Int64
+}
+
+// New creates an engine with n partitions.
+func New(cfg *sim.Config, layout heap.Layout, n int) *Engine {
+	e := &Engine{cfg: cfg, layout: layout}
+	for i := 0; i < n; i++ {
+		e.parts = append(e.parts, newPartition(cfg))
+	}
+	return e
+}
+
+func newPartition(cfg *sim.Config) *partition {
+	return &partition{
+		data:  make(map[uint64][]byte),
+		log:   wal.NewLog(),
+		ssd:   device.NewSSD(cfg, 32),
+		locks: txn.NewLockTable(),
+	}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "shared-nothing" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// Partitions reports the current node count.
+func (e *Engine) Partitions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.parts)
+}
+
+func (e *Engine) partOf(key uint64) (int, *partition) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	i := int((key * 0x9E3779B97F4A7C15 >> 32) % uint64(len(e.parts)))
+	return i, e.parts[i]
+}
+
+// Execute implements engine.Engine. The coordinator is the partition of
+// the first key touched; remote accesses pay network round trips, and
+// multi-partition commits pay 2PC.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	txID := e.nextTx.Add(1)
+	coord := -1
+	touch := func(key uint64) int {
+		i, _ := e.partOf(key)
+		if coord == -1 {
+			coord = i
+		}
+		return i
+	}
+	st := engine.NewStagedTx(func(key uint64) ([]byte, error) {
+		i, p := e.partOf(key)
+		if touch(key) != coord || i != coord {
+			// Remote read: one network round trip.
+			c.Advance(e.cfg.TCP.Cost(e.layout.ValSize + 16))
+			e.stats.NetBytes.Add(int64(e.layout.ValSize + 16))
+			e.stats.NetMsgs.Add(1)
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		v, ok := p.data[key]
+		if !ok {
+			return make([]byte, e.layout.ValSize), nil
+		}
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, nil
+	})
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	// Group write set by partition.
+	byPart := map[int][]uint64{}
+	for _, k := range keys {
+		i, _ := e.partOf(k)
+		if coord == -1 {
+			coord = i
+		}
+		byPart[i] = append(byPart[i], k)
+	}
+	// Lock per partition (sorted keys: deadlock-free).
+	type held struct {
+		p *partition
+		k uint64
+	}
+	var locks []held
+	abort := func() {
+		for _, h := range locks {
+			h.p.locks.Unlock(txID, h.k, txn.Exclusive)
+		}
+		e.stats.Aborts.Add(1)
+	}
+	for _, k := range keys {
+		_, p := e.partOf(k)
+		if err := p.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			abort()
+			return engine.ErrConflict
+		}
+		locks = append(locks, held{p, k})
+	}
+	defer func() {
+		for _, h := range locks {
+			h.p.locks.Unlock(txID, h.k, txn.Exclusive)
+		}
+	}()
+
+	// Commit: local fast path or 2PC.
+	participants := len(byPart)
+	if participants > 1 {
+		// Prepare: one parallel round trip to all remote participants,
+		// each force-logging a prepare record.
+		maxPrep := time.Duration(0)
+		for i, ks := range byPart {
+			probe := sim.NewClock()
+			logBytes := 0
+			for range ks {
+				logBytes += 64
+			}
+			if i != coord {
+				probe.Advance(e.cfg.TCP.Cost(logBytes))
+				e.stats.NetBytes.Add(int64(logBytes))
+				e.stats.NetMsgs.Add(1)
+			}
+			e.parts[i].ssd.Write(probe, logBytes)
+			if probe.Now() > maxPrep {
+				maxPrep = probe.Now()
+			}
+		}
+		c.Advance(maxPrep)
+	}
+	// Commit records + apply, parallel across participants.
+	maxCommit := time.Duration(0)
+	for i, ks := range byPart {
+		probe := sim.NewClock()
+		p := e.parts[i]
+		logBytes := 0
+		var lastLSN wal.LSN
+		for _, k := range ks {
+			rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+			lastLSN = p.log.Append(rec)
+			logBytes += rec.EncodedSize()
+		}
+		cm := wal.Record{Type: wal.TypeCommit, TxID: txID}
+		lastLSN = p.log.Append(cm)
+		_ = lastLSN
+		logBytes += cm.EncodedSize()
+		if i != coord {
+			probe.Advance(e.cfg.TCP.Cost(logBytes))
+			e.stats.NetBytes.Add(int64(logBytes))
+			e.stats.NetMsgs.Add(1)
+		}
+		p.ssd.Write(probe, logBytes)
+		e.stats.LogBytes.Add(int64(logBytes))
+		p.mu.Lock()
+		for _, k := range ks {
+			cp := make([]byte, len(writes[k]))
+			copy(cp, writes[k])
+			p.data[k] = cp
+		}
+		p.mu.Unlock()
+		if probe.Now() > maxCommit {
+			maxCommit = probe.Now()
+		}
+	}
+	c.Advance(maxCommit)
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// Rebalance rescales to n partitions, physically moving every key whose
+// home changes and charging the transfer — the elasticity tax of
+// shared-nothing (E4).
+func (e *Engine) Rebalance(c *sim.Clock, n int) (moved int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.parts
+	oldN := uint64(len(old))
+	parts := make([]*partition, n)
+	for i := range parts {
+		parts[i] = newPartition(e.cfg)
+	}
+	for _, p := range old {
+		p.mu.Lock()
+		for k, v := range p.data {
+			h := k * 0x9E3779B97F4A7C15 >> 32
+			ni := int(h % uint64(n))
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			parts[ni].data[k] = cp
+			if int(h%oldN) != ni {
+				moved += int64(len(v))
+			}
+		}
+		p.mu.Unlock()
+	}
+	// Data movement: streamed over the network and rewritten to SSD.
+	c.Advance(e.cfg.TCP.Cost(int(moved)))
+	parts[0].ssd.Write(c, int(moved))
+	e.MovedBytes.Add(moved)
+	e.stats.NetBytes.Add(moved)
+	e.parts = parts
+	return moved
+}

@@ -1,0 +1,97 @@
+package sharednothing
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 4)
+	})
+}
+
+func TestCrossPartitionCostsMore(t *testing.T) {
+	layout := enginetest.Layout(t)
+	cfg := sim.DefaultConfig()
+	e := New(cfg, layout, 8)
+	val := make([]byte, layout.ValSize)
+
+	// Find two keys on the same partition and two on different ones.
+	var sameA, sameB, diffA, diffB uint64
+	pa, _ := e.partOf(1)
+	found := false
+	for k := uint64(2); k < 1000 && !found; k++ {
+		pk, _ := e.partOf(k)
+		if pk == pa && sameB == 0 {
+			sameA, sameB = 1, k
+		}
+		if pk != pa && diffB == 0 {
+			diffA, diffB = 1, k
+		}
+		found = sameB != 0 && diffB != 0
+	}
+	if !found {
+		t.Fatal("could not find key pairs")
+	}
+	single := sim.NewClock()
+	if err := e.Execute(single, func(tx engine.Tx) error {
+		tx.Write(sameA, val)
+		return tx.Write(sameB, val)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	multi := sim.NewClock()
+	if err := e.Execute(multi, func(tx engine.Tx) error {
+		tx.Write(diffA, val)
+		return tx.Write(diffB, val)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !(single.Now() < multi.Now()) {
+		t.Fatalf("2PC txn (%v) should cost more than single-partition (%v)", multi.Now(), single.Now())
+	}
+}
+
+func TestRebalanceMovesData(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 4)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 1000; i++ {
+		key := i
+		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := sim.NewClock()
+	moved := e.Rebalance(rc, 8)
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	if rc.Now() == 0 {
+		t.Fatal("rebalance charged nothing")
+	}
+	if e.Partitions() != 8 {
+		t.Fatalf("partitions = %d", e.Partitions())
+	}
+	// All data still readable after rebalance.
+	for i := uint64(0); i < 1000; i += 97 {
+		key := i
+		if err := e.Execute(c, func(tx engine.Tx) error {
+			v, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			if len(v) != layout.ValSize {
+				t.Errorf("key %d lost", key)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package snowflake
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/workload"
+)
+
+func newLoaded(t *testing.T, rows int) (*Service, *workload.Data) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	svc := NewService(cfg)
+	d := workload.TPCH{ScaleRows: rows, Clustered: true, Seed: 1}.Generate()
+	svc.LoadTable("lineitem", d.Lineitem)
+	svc.LoadTable("orders", d.Orders)
+	return svc, d
+}
+
+func TestWarehouseRunsQ6(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, d := newLoaded(t, 30_000)
+	wh := svc.AddWarehouse(sim.NewClock(), 1024)
+	c := sim.NewClock()
+	out, err := wh.Run(c, func(src func(string) (query.Source, error)) (query.Operator, error) {
+		li, err := src("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		return workload.Q6(cfg, li, 100, 465, 2, 5, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("Q6 rows = %d", out.Len())
+	}
+	if out.Cols[1][0] == 0 {
+		t.Fatal("Q6 matched nothing")
+	}
+	_ = d
+}
+
+func TestUnknownTable(t *testing.T) {
+	svc, _ := newLoaded(t, 5000)
+	wh := svc.AddWarehouse(sim.NewClock(), 16)
+	if _, err := wh.Source("nope"); err != ErrNoTable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocalCacheSpeedsUpRepeatQueries(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, _ := newLoaded(t, 40_000)
+	wh := svc.AddWarehouse(sim.NewClock(), 4096)
+	run := func() *sim.Clock {
+		c := sim.NewClock()
+		_, err := wh.Run(c, func(src func(string) (query.Source, error)) (query.Operator, error) {
+			li, err := src("lineitem")
+			if err != nil {
+				return nil, err
+			}
+			return workload.Q1(cfg, li, 2556)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cold := run()
+	warm := run()
+	if !(warm.Now() < cold.Now()/5) {
+		t.Fatalf("warm query (%v) should be ≫ faster than cold (%v)", warm.Now(), cold.Now())
+	}
+	if wh.CacheHitRatio("lineitem") == 0 {
+		t.Fatal("cache never hit")
+	}
+}
+
+func TestElasticScaleOutNoDataMovement(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, _ := newLoaded(t, 20_000)
+	objectsBefore := svc.Store.Len()
+	// Spin up 4 more warehouses: storage is untouched and each serves
+	// queries immediately.
+	for i := 0; i < 4; i++ {
+		rc := sim.NewClock()
+		wh := svc.AddWarehouse(rc, 256)
+		if rc.Now() > 10_000_000 {
+			t.Fatalf("provisioning took %v", rc.Now())
+		}
+		_, err := wh.Run(sim.NewClock(), func(src func(string) (query.Source, error)) (query.Operator, error) {
+			li, err := src("lineitem")
+			if err != nil {
+				return nil, err
+			}
+			return workload.Q6(cfg, li, 0, 2556, 0, 11, true)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Store.Len() != objectsBefore {
+		t.Fatal("scale-out changed the storage tier")
+	}
+}
+
+func TestPruningReducesQ6Cost(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, _ := newLoaded(t, 60_000)
+	whP := svc.AddWarehouse(sim.NewClock(), 0) // no cache: isolate pruning
+	whU := svc.AddWarehouse(sim.NewClock(), 0)
+	pruned := sim.NewClock()
+	whP.Run(pruned, func(src func(string) (query.Source, error)) (query.Operator, error) {
+		li, _ := src("lineitem")
+		return workload.Q6(cfg, li, 100, 200, 0, 11, true)
+	})
+	unpruned := sim.NewClock()
+	whU.Run(unpruned, func(src func(string) (query.Source, error)) (query.Operator, error) {
+		li, _ := src("lineitem")
+		return workload.Q6(cfg, li, 100, 200, 0, 11, false)
+	})
+	if !(pruned.Now() < unpruned.Now()/2) {
+		t.Fatalf("pruned %v vs unpruned %v on clustered data", pruned.Now(), unpruned.Now())
+	}
+}
+
+func TestResultCacheServesRepeatsWithoutExecution(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, _ := newLoaded(t, 30_000)
+	wh := svc.AddWarehouse(sim.NewClock(), 0) // no block cache: isolate the result cache
+	build := func(src func(string) (query.Source, error)) (query.Operator, error) {
+		li, err := src("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		return workload.Q6(cfg, li, 100, 465, 2, 5, true)
+	}
+	cold := sim.NewClock()
+	first, err := wh.RunCached(cold, "q6/w1", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := sim.NewClock()
+	second, err := wh.RunCached(warm, "q6/w1", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cols[0][0] != second.Cols[0][0] {
+		t.Fatal("cached result differs")
+	}
+	if !(warm.Now() < cold.Now()/20) {
+		t.Fatalf("cached run (%v) should be ≫ cheaper than execution (%v)", warm.Now(), cold.Now())
+	}
+	if h, m := svc.ResultCacheStats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d", h, m)
+	}
+	// Even a DIFFERENT warehouse hits the shared service-level cache.
+	wh2 := svc.AddWarehouse(sim.NewClock(), 0)
+	other := sim.NewClock()
+	if _, err := wh2.RunCached(other, "q6/w1", build); err != nil {
+		t.Fatal(err)
+	}
+	if !(other.Now() < cold.Now()/20) {
+		t.Fatal("result cache not shared across warehouses")
+	}
+}
+
+func TestResultCacheInvalidatedByReload(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	svc, _ := newLoaded(t, 10_000)
+	wh := svc.AddWarehouse(sim.NewClock(), 0)
+	build := func(src func(string) (query.Source, error)) (query.Operator, error) {
+		li, err := src("lineitem")
+		if err != nil {
+			return nil, err
+		}
+		return workload.Q6(cfg, li, 0, 2556, 0, 11, false)
+	}
+	r1, err := wh.RunCached(sim.NewClock(), "q6/full", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reload the table with different data: the cached result must not
+	// be served.
+	d2 := workload.TPCH{ScaleRows: 5000, Seed: 99}.Generate()
+	svc.LoadTable("lineitem", d2.Lineitem)
+	wh2 := svc.AddWarehouse(sim.NewClock(), 0) // fresh warehouse: no stale block cache
+	r2, err := wh2.RunCached(sim.NewClock(), "q6/full", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cols[1][0] == r2.Cols[1][0] {
+		t.Fatal("stale result served after table reload (counts should differ)")
+	}
+}

@@ -1,0 +1,245 @@
+// Package socrates implements the Socrates (Azure SQL Hyperscale)
+// architecture of §2.1: durability and availability are separated into
+// four tiers — compute, the XLOG service (fast durable log), page servers
+// (availability: serve pages, apply log asynchronously), and XStore (cheap
+// durable object storage holding page snapshots). A commit only waits for
+// the XLOG append; page servers and XStore are off the commit path, so
+// durability does not require copies in fast storage and availability does
+// not require a fixed replica count.
+package socrates
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/device"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/storagenode"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Engine is the Socrates-style engine.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	// XLOG is the dedicated durability tier.
+	XLOG *storagenode.LogStore
+	// PageServers provide availability; each holds the full page range.
+	PageServers []*storagenode.Replica
+	// XStore is the cheap long-term tier receiving page snapshots.
+	XStore *device.ObjectStore
+
+	log   *wal.Log
+	locks *txn.LockTable
+	stats engine.Stats
+	pool  *buffer.Pool
+
+	// SnapshotEvery pushes page snapshots to XStore every N commits
+	// (0 disables).
+	SnapshotEvery int
+
+	mu          sync.Mutex
+	durableLSN  wal.LSN
+	commitCount int
+	nextTx      atomic.Uint64
+	crashed     atomic.Bool
+}
+
+// New creates the engine with nPageServers page servers.
+func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageServers int) *Engine {
+	e := &Engine{
+		cfg:           cfg,
+		layout:        layout,
+		XLOG:          storagenode.NewLogStore(cfg, storagenode.MediumSSD),
+		XStore:        device.NewObjectStore(cfg),
+		log:           wal.NewLog(),
+		locks:         txn.NewLockTable(),
+		SnapshotEvery: 256,
+	}
+	for i := 0; i < nPageServers; i++ {
+		e.PageServers = append(e.PageServers, storagenode.NewReplica(cfg, fmt.Sprintf("ps-%d", i), i%3, layout, 1+0.1*float64(i)))
+	}
+	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "socrates" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// fetchPage reads from the first healthy, fresh-enough page server.
+func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
+	e.mu.Lock()
+	min := e.durableLSN
+	e.mu.Unlock()
+	var lastErr error = engine.ErrUnavailable
+	for _, ps := range e.PageServers {
+		data, err := ps.ReadPage(c, id, min)
+		if err == nil {
+			e.stats.StorageOps.Add(1)
+			e.stats.NetMsgs.Add(1)
+			e.stats.NetBytes.Add(int64(len(data)))
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		if e.pool.Contains(e.layout.PageOf(key)) {
+			e.stats.CacheHits.Add(1)
+		} else {
+			e.stats.CacheMisses.Add(1)
+		}
+		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	var recs []wal.Record
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		rec.LSN = e.log.Append(rec)
+		lastLSN = rec.LSN
+		logBytes += rec.EncodedSize()
+		recs = append(recs, rec)
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	commit.LSN = e.log.Append(commit)
+	lastLSN = commit.LSN
+	logBytes += commit.EncodedSize()
+	recs = append(recs, commit)
+
+	// Durability: the commit waits ONLY for XLOG.
+	if err := e.XLOG.Append(c, recs); err != nil {
+		e.stats.Aborts.Add(1)
+		return engine.ErrUnavailable
+	}
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.stats.NetBytes.Add(int64(logBytes))
+	e.stats.NetMsgs.Add(1)
+
+	// Availability: XLOG disseminates to page servers off the commit
+	// path (the writer does NOT pay this fan-out — Socrates's advantage
+	// over Taurus's writer-driven distribution).
+	bg := sim.NewClock()
+	for _, ps := range e.PageServers {
+		ps.Ingest(bg, recs)
+	}
+
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	e.commitCount++
+	doSnap := e.SnapshotEvery > 0 && e.commitCount%e.SnapshotEvery == 0
+	e.mu.Unlock()
+	for _, k := range keys {
+		key := k
+		if e.pool.Contains(e.layout.PageOf(k)) {
+			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if doSnap {
+		e.snapshotToXStore(c, keys)
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// snapshotToXStore pushes current page images of recently written pages to
+// XStore — the extra data movement the tutorial notes Socrates may incur.
+func (e *Engine) snapshotToXStore(c *sim.Clock, keys []uint64) {
+	seen := map[page.ID]bool{}
+	for _, k := range keys {
+		id := e.layout.PageOf(k)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		bg := sim.NewClock() // read page server on background clock
+		data, err := e.PageServers[0].ReadPage(bg, id, 0)
+		if err != nil {
+			continue
+		}
+		e.XStore.Put(c, fmt.Sprintf("page/%d", id), data)
+		e.stats.PageBytes.Add(int64(len(data)))
+		e.stats.NetBytes.Add(int64(len(data)))
+		e.stats.NetMsgs.Add(1)
+	}
+}
+
+// Crash implements engine.Recoverer.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.pool.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: the new compute node learns the
+// durable LSN from XLOG; page servers keep serving (availability tier
+// unaffected by compute failure).
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	e.durableLSN = e.XLOG.HighLSN()
+	e.mu.Unlock()
+	// One metadata round trip to XLOG.
+	c.Advance(e.cfg.TCP.Cost(64))
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// Pool exposes the compute cache.
+func (e *Engine) Pool() *buffer.Pool { return e.pool }

@@ -1,0 +1,109 @@
+package socrates
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 2)
+	})
+}
+
+func TestCommitWaitsOnlyForXLOG(t *testing.T) {
+	layout := enginetest.Layout(t)
+	cfg := sim.DefaultConfig()
+	e := New(cfg, layout, 64, 3)
+	e.SnapshotEvery = 0 // isolate the commit path
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	// Warm the cache so the commit path has no reads.
+	e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) })
+	before := c.Now()
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
+		t.Fatal(err)
+	}
+	commitCost := c.Now() - before
+	// The commit should cost about one TCP round trip + SSD log write,
+	// NOT multiplied by the number of page servers.
+	logSize := 200 // rough upper bound of the record batch
+	budget := cfg.TCP.Cost(logSize) + cfg.SSDWrite.Cost(logSize) + cfg.DRAM.Cost(layout.PageSize)*4
+	if commitCost > 2*budget {
+		t.Fatalf("commit cost %v exceeds XLOG-only budget %v", commitCost, budget)
+	}
+}
+
+func TestPageServersServeAfterComputeCrash(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 2)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 30; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	e.Crash()
+	d, err := e.Recover(sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1_000_000 {
+		t.Fatalf("socrates recovery took %v", d)
+	}
+	if err := e.Execute(c, func(tx engine.Tx) error {
+		v, err := tx.Read(5)
+		if err != nil {
+			return err
+		}
+		if len(v) != layout.ValSize {
+			t.Error("value lost")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageServerFailureTolerated(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 4, 2)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 30; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	e.PageServers[0].Fail()
+	e.Pool().InvalidateAll()
+	if err := e.Execute(c, func(tx engine.Tx) error {
+		_, err := tx.Read(3)
+		return err
+	}); err != nil {
+		t.Fatalf("read with one page server down: %v", err)
+	}
+}
+
+func TestSnapshotsReachXStore(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 1)
+	e.SnapshotEvery = 8
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 32; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	if e.XStore.Len() == 0 {
+		t.Fatal("no snapshots reached XStore")
+	}
+	if e.Stats().PageBytes.Load() == 0 {
+		t.Fatal("snapshot traffic not accounted")
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 2)
+	})
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "sort"
+
+// StagedTx is the transaction staging helper shared by the engines: reads
+// go through the engine's read path (checking the transaction's own write
+// buffer first), writes are buffered until commit. Engines call Writes at
+// commit to obtain the write set in deterministic (sorted) key order —
+// which also makes commit-time lock acquisition deadlock-free.
+//
+// The engines use redo-only logging with a no-steal buffer policy: dirty
+// pages never reach storage before commit, so undo images are unnecessary.
+type StagedTx struct {
+	read   func(key uint64) ([]byte, error)
+	writes map[uint64][]byte
+}
+
+// NewStagedTx wraps an engine read path.
+func NewStagedTx(read func(key uint64) ([]byte, error)) *StagedTx {
+	return &StagedTx{read: read, writes: make(map[uint64][]byte)}
+}
+
+// Read implements Tx: the transaction sees its own staged writes.
+func (t *StagedTx) Read(key uint64) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, nil
+	}
+	return t.read(key)
+}
+
+// Write implements Tx.
+func (t *StagedTx) Write(key uint64, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	t.writes[key] = cp
+	return nil
+}
+
+// WriteSet returns the staged writes in ascending key order.
+func (t *StagedTx) WriteSet() ([]uint64, map[uint64][]byte) {
+	keys := make([]uint64, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, t.writes
+}
+
+// Empty reports whether the transaction staged no writes.
+func (t *StagedTx) Empty() bool { return len(t.writes) == 0 }

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStagedTxReadYourWrites(t *testing.T) {
+	backing := map[uint64][]byte{7: []byte("base")}
+	st := NewStagedTx(func(key uint64) ([]byte, error) {
+		v, ok := backing[key]
+		if !ok {
+			return nil, errors.New("missing")
+		}
+		return v, nil
+	})
+	v, err := st.Read(7)
+	if err != nil || string(v) != "base" {
+		t.Fatalf("read-through: %q %v", v, err)
+	}
+	st.Write(7, []byte("staged"))
+	v, _ = st.Read(7)
+	if string(v) != "staged" {
+		t.Fatalf("read-your-writes: %q", v)
+	}
+	// The backing store is untouched until commit.
+	if string(backing[7]) != "base" {
+		t.Fatal("staged write leaked to backing store")
+	}
+}
+
+func TestStagedTxWriteSetSortedAndCopied(t *testing.T) {
+	st := NewStagedTx(func(uint64) ([]byte, error) { return nil, nil })
+	buf := []byte{1}
+	st.Write(30, buf)
+	st.Write(10, []byte{2})
+	st.Write(20, []byte{3})
+	buf[0] = 99 // caller mutates after staging
+	keys, writes := st.WriteSet()
+	if len(keys) != 3 || keys[0] != 10 || keys[1] != 20 || keys[2] != 30 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if writes[30][0] != 1 {
+		t.Fatal("Write aliased the caller's buffer")
+	}
+	if st.Empty() {
+		t.Fatal("Empty with staged writes")
+	}
+	if !NewStagedTx(nil).Empty() {
+		t.Fatal("fresh tx not empty")
+	}
+}
+
+func TestStagedTxReadReturnsCopy(t *testing.T) {
+	st := NewStagedTx(nil)
+	st.Write(1, []byte{5})
+	v, _ := st.Read(1)
+	v[0] = 77
+	v2, _ := st.Read(1)
+	if v2[0] != 5 {
+		t.Fatal("Read leaked the staged buffer")
+	}
+	// Last write wins within the transaction.
+	st.Write(1, []byte{6})
+	v3, _ := st.Read(1)
+	if v3[0] != 6 {
+		t.Fatal("overwrite not visible")
+	}
+	if !bytes.Equal(v3, []byte{6}) {
+		t.Fatal("bad value")
+	}
+}

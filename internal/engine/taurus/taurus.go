@@ -1,0 +1,227 @@
+// Package taurus implements the Taurus architecture of §2.1: logs and
+// pages get different replication and consistency treatments because their
+// access patterns differ. Log batches are synchronously replicated to a
+// small group of log stores (durability), while each page-store write goes
+// to only ONE page store — the writer stays frugal — and the page stores
+// converge through gossip. Readers route to a page store fresh enough for
+// their LSN.
+package taurus
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/storagenode"
+	"github.com/disagglab/disagg/internal/txn"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Engine is the Taurus-style engine.
+type Engine struct {
+	cfg    *sim.Config
+	layout heap.Layout
+	// LogStores is the synchronous durability group (3 stores, quorum 2).
+	LogStores *storagenode.LogStoreGroup
+	// PageStores converge via gossip.
+	PageStores *storagenode.PageStoreGroup
+
+	log   *wal.Log
+	locks *txn.LockTable
+	stats engine.Stats
+	pool  *buffer.Pool
+
+	// GossipEvery runs one anti-entropy round every N commits.
+	GossipEvery int
+
+	mu          sync.Mutex
+	durableLSN  wal.LSN
+	commitCount int
+	nextTx      atomic.Uint64
+	crashed     atomic.Bool
+}
+
+// New creates the engine with nPageStores page stores.
+func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageStores int) *Engine {
+	log := wal.NewLog()
+	e := &Engine{
+		cfg:         cfg,
+		layout:      layout,
+		LogStores:   storagenode.NewLogStoreGroup(cfg, 3, 2, storagenode.MediumSSD),
+		PageStores:  storagenode.NewPageStoreGroup(cfg, nPageStores, layout, log),
+		log:         log,
+		locks:       txn.NewLockTable(),
+		GossipEvery: 32,
+	}
+	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "taurus" }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// fetchPage reads from a fresh-enough page store; if gossip lags it runs a
+// round on demand (reader-triggered catch-up).
+func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
+	e.mu.Lock()
+	min := e.durableLSN
+	e.mu.Unlock()
+	for try := 0; try < 4; try++ {
+		data, err := e.PageStores.ReadPage(c, id, min)
+		if err == nil {
+			e.stats.StorageOps.Add(1)
+			e.stats.NetMsgs.Add(1)
+			e.stats.NetBytes.Add(int64(len(data)))
+			return data, nil
+		}
+		if err != storagenode.ErrStaleReplica {
+			return nil, err
+		}
+		// No store fresh enough: trigger gossip (charged to the
+		// waiting reader — staleness has a visible cost).
+		e.PageStores.GossipRound(c)
+	}
+	return nil, storagenode.ErrStaleReplica
+}
+
+func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
+	return func(key uint64) ([]byte, error) {
+		if e.pool.Contains(e.layout.PageOf(key)) {
+			e.stats.CacheHits.Add(1)
+		} else {
+			e.stats.CacheMisses.Add(1)
+		}
+		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		if err != nil {
+			return nil, err
+		}
+		return e.layout.ReadValue(data, key)
+	}
+}
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	if e.crashed.Load() {
+		return engine.ErrUnavailable
+	}
+	txID := e.nextTx.Add(1)
+	st := engine.NewStagedTx(e.readKey(c))
+	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	keys, writes := st.WriteSet()
+	if len(keys) == 0 {
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	held := 0
+	for _, k := range keys {
+		if err := e.locks.Acquire(c, txID, k, txn.Exclusive, txn.DefaultAcquire); err != nil {
+			for _, h := range keys[:held] {
+				e.locks.Unlock(txID, h, txn.Exclusive)
+			}
+			e.stats.Aborts.Add(1)
+			return engine.ErrConflict
+		}
+		held++
+	}
+	defer func() {
+		for _, k := range keys {
+			e.locks.Unlock(txID, k, txn.Exclusive)
+		}
+	}()
+	var recs []wal.Record
+	logBytes := 0
+	var lastLSN wal.LSN
+	for _, k := range keys {
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		rec.LSN = e.log.Append(rec)
+		lastLSN = rec.LSN
+		logBytes += rec.EncodedSize()
+		recs = append(recs, rec)
+	}
+	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
+	commit.LSN = e.log.Append(commit)
+	lastLSN = commit.LSN
+	logBytes += commit.EncodedSize()
+	recs = append(recs, commit)
+
+	// Durability: quorum append to the log stores.
+	if err := e.LogStores.Append(c, recs); err != nil {
+		e.stats.Aborts.Add(1)
+		return engine.ErrUnavailable
+	}
+	// Frugal page distribution: the writer sends the records to exactly
+	// one page store (Taurus's writer-load optimization), charged here.
+	if err := e.PageStores.WriteToOne(c, recs); err != nil {
+		e.stats.Aborts.Add(1)
+		return engine.ErrUnavailable
+	}
+	// Fan-out: all (3) log stores receive the batch, but only ONE page
+	// store does — Taurus's frugality vs Aurora's 6-way fan-out.
+	logCopies := int64(0)
+	for _, ls := range e.LogStores.Stores {
+		_ = ls
+		logCopies++
+	}
+	e.stats.LogBytes.Add(int64(logBytes))
+	e.stats.NetBytes.Add(int64(logBytes) * (logCopies + 1))
+	e.stats.NetMsgs.Add(logCopies + 1)
+
+	e.mu.Lock()
+	if lastLSN > e.durableLSN {
+		e.durableLSN = lastLSN
+	}
+	e.commitCount++
+	doGossip := e.GossipEvery > 0 && e.commitCount%e.GossipEvery == 0
+	e.mu.Unlock()
+	for _, k := range keys {
+		key := k
+		if e.pool.Contains(e.layout.PageOf(k)) {
+			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if doGossip {
+		// Background anti-entropy (not charged to the writer).
+		e.PageStores.GossipRound(sim.NewClock())
+	}
+	e.stats.Commits.Add(1)
+	return nil
+}
+
+// Crash implements engine.Recoverer.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.pool.InvalidateAll()
+}
+
+// Recover implements engine.Recoverer: learn the quorum-durable LSN from
+// the log stores and resume; page stores catch up by gossip.
+func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
+	start := c.Now()
+	e.mu.Lock()
+	e.durableLSN = e.LogStores.HighLSN()
+	e.mu.Unlock()
+	c.Advance(e.cfg.TCP.Cost(64))
+	e.crashed.Store(false)
+	return c.Now() - start, nil
+}
+
+// MaxPageLag exposes the page-store staleness metric.
+func (e *Engine) MaxPageLag() wal.LSN { return e.PageStores.MaxLag() }
+
+// Pool exposes the compute cache.
+func (e *Engine) Pool() *buffer.Pool { return e.pool }

@@ -1,0 +1,85 @@
+package taurus
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 3)
+	})
+}
+
+func TestPageStoresLagAndConverge(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 3)
+	e.GossipEvery = 0 // manual gossip
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 30; i++ {
+		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.MaxPageLag() == 0 {
+		t.Fatal("1-of-N page writes should leave stores at different LSNs")
+	}
+	bg := sim.NewClock()
+	for i := 0; i < 4 && e.MaxPageLag() > 0; i++ {
+		e.PageStores.GossipRound(bg)
+	}
+	if e.MaxPageLag() != 0 {
+		t.Fatalf("gossip did not converge: lag %d", e.MaxPageLag())
+	}
+}
+
+func TestStaleReadTriggersGossipAndSucceeds(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 4, 3)
+	e.GossipEvery = 0
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	for i := uint64(0); i < 20; i++ {
+		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+	}
+	e.Pool().InvalidateAll()
+	// The read needs the newest LSN; no single store has the full
+	// prefix, so the engine gossips on demand and then serves it.
+	if err := e.Execute(c, func(tx engine.Tx) error {
+		v, err := tx.Read(19)
+		if err != nil {
+			return err
+		}
+		if len(v) != layout.ValSize {
+			t.Error("bad value")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogStoreQuorumFailure(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 3)
+	c := sim.NewClock()
+	val := make([]byte, layout.ValSize)
+	e.LogStores.Stores[0].Fail()
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
+		t.Fatalf("2/3 log stores should suffice: %v", err)
+	}
+	e.LogStores.Stores[1].Fail()
+	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(2, val) }); err != engine.ErrUnavailable {
+		t.Fatalf("1/3 log stores: %v", err)
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
+		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 3)
+	})
+}

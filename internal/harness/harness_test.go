@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23 (E1-E20 claims + E21-E23 extensions)", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		if expNum(e.ID) != want {
+			t.Fatalf("position %d holds %s", i, e.ID)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("E6"); !ok {
+		t.Fatal("Lookup(E6) failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("Lookup(E99) succeeded")
+	}
+}
+
+// TestAllExperimentsPassAtQuickScale is the integration suite: every
+// experiment must reproduce its claimed shape.
+func TestAllExperimentsPassAtQuickScale(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			r := e.Run(cfg.Clone(), Quick)
+			if len(r.Checks) == 0 {
+				t.Fatalf("%s made no checks", e.ID)
+			}
+			var buf bytes.Buffer
+			Render(&buf, r)
+			if r.Failed() {
+				t.Fatalf("%s failed:\n%s", e.ID, buf.String())
+			}
+			if !strings.Contains(buf.String(), "PASS") {
+				t.Fatalf("render missing check output:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRenderIncludesTables(t *testing.T) {
+	r := &Result{ID: "EX", Title: "demo"}
+	tb := r.table("demo table", "a", "b")
+	tb.Row(1, 2)
+	r.note("a note")
+	r.check("always", true, "fine")
+	var buf bytes.Buffer
+	Render(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"==== EX", "demo table", "note: a note", "[PASS] always"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(Quick, 1, 2) != 1 || pick(Full, 1, 2) != 2 {
+		t.Fatal("pick broken")
+	}
+}
+
+func TestExpNum(t *testing.T) {
+	if expNum("E2") != 2 || expNum("E17") != 17 {
+		t.Fatal("expNum broken")
+	}
+}

@@ -1,0 +1,228 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func newTree(t *testing.T, opt Options) *Tree {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 64<<20)
+	tr, err := New(cfg, pool, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPutGetSingleLeaf(t *testing.T) {
+	tr := newTree(t, Sherman())
+	cl := tr.Attach(1, nil)
+	clk := sim.NewClock()
+	for i := uint64(1); i <= 10; i++ {
+		if err := cl.Put(clk, i*10, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok, err := cl.Get(clk, i*10)
+		if err != nil || !ok || v != i {
+			t.Fatalf("get %d: %d %v %v", i*10, v, ok, err)
+		}
+	}
+	if _, ok, _ := cl.Get(clk, 5); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	tr := newTree(t, Sherman())
+	cl := tr.Attach(1, nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 1, 100)
+	cl.Put(clk, 1, 200)
+	v, ok, _ := cl.Get(clk, 1)
+	if !ok || v != 200 {
+		t.Fatalf("after update: %d %v", v, ok)
+	}
+}
+
+func TestSplitsSequential(t *testing.T) {
+	for _, opt := range []Options{Sherman(), Naive()} {
+		tr := newTree(t, opt)
+		cl := tr.Attach(1, nil)
+		clk := sim.NewClock()
+		const n = 2000
+		for i := uint64(0); i < n; i++ {
+			if err := cl.Put(clk, i, i*2); err != nil {
+				t.Fatalf("opt %+v put %d: %v", opt, i, err)
+			}
+		}
+		for i := uint64(0); i < n; i++ {
+			v, ok, err := cl.Get(clk, i)
+			if err != nil || !ok || v != i*2 {
+				t.Fatalf("opt %+v get %d: %d %v %v", opt, i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestSplitsRandomOrder(t *testing.T) {
+	tr := newTree(t, Sherman())
+	cl := tr.Attach(1, nil)
+	clk := sim.NewClock()
+	r := rand.New(rand.NewSource(3))
+	keys := r.Perm(3000)
+	for _, k := range keys {
+		if err := cl.Put(clk, uint64(k)+1, uint64(k)*7); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, err := cl.Get(clk, uint64(k)+1)
+		if err != nil || !ok || v != uint64(k)*7 {
+			t.Fatalf("get %d: %d %v %v", k, v, ok, err)
+		}
+	}
+}
+
+func TestConcurrentInsertsDisjointRanges(t *testing.T) {
+	tr := newTree(t, Sherman())
+	const perWorker = 400
+	res := sim.RunGroup(8, func(id int, clk *sim.Clock) int {
+		cl := tr.Attach(uint64(id+1), nil)
+		base := uint64(id)*1_000_000 + 1
+		for i := uint64(0); i < perWorker; i++ {
+			if err := cl.Put(clk, base+i, base+i); err != nil {
+				t.Errorf("worker %d put: %v", id, err)
+				return int(i)
+			}
+		}
+		return perWorker
+	})
+	if res.TotalOps != 8*perWorker {
+		t.Fatalf("completed %d/%d", res.TotalOps, 8*perWorker)
+	}
+	cl := tr.Attach(99, nil)
+	clk := sim.NewClock()
+	for id := 0; id < 8; id++ {
+		base := uint64(id)*1_000_000 + 1
+		for i := uint64(0); i < perWorker; i++ {
+			v, ok, err := cl.Get(clk, base+i)
+			if err != nil || !ok || v != base+i {
+				t.Fatalf("key %d: %d %v %v", base+i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedReadWrite(t *testing.T) {
+	tr := newTree(t, Sherman())
+	seedCl := tr.Attach(100, nil)
+	seedClk := sim.NewClock()
+	for i := uint64(1); i <= 500; i++ {
+		seedCl.Put(seedClk, i, i)
+	}
+	res := sim.RunGroup(8, func(id int, clk *sim.Clock) int {
+		cl := tr.Attach(uint64(id+1), nil)
+		r := sim.NewRand(77, id)
+		ops := 0
+		for i := 0; i < 300; i++ {
+			k := uint64(r.Int63n(500)) + 1
+			if r.Intn(2) == 0 {
+				if err := cl.Put(clk, k, k*10); err != nil {
+					t.Errorf("put: %v", err)
+					return ops
+				}
+			} else {
+				_, ok, err := cl.Get(clk, k)
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return ops
+				}
+				if !ok {
+					t.Errorf("key %d vanished", k)
+					return ops
+				}
+			}
+			ops++
+		}
+		return ops
+	})
+	if res.TotalOps != 2400 {
+		t.Fatalf("ops = %d", res.TotalOps)
+	}
+}
+
+func TestShermanCheaperThanNaive(t *testing.T) {
+	// E11 ablation shape: Sherman's optimistic reads + batched writes +
+	// on-chip locks must beat the lock-coupled unbatched baseline.
+	run := func(opt Options) sim.GroupResult {
+		cfg := sim.DefaultConfig()
+		pool := memnode.New(cfg, "m0", 64<<20)
+		tr, _ := New(cfg, pool, opt)
+		return sim.RunGroup(4, func(id int, clk *sim.Clock) int {
+			cl := tr.Attach(uint64(id+1), nil)
+			r := sim.NewRand(9, id)
+			for i := 0; i < 400; i++ {
+				k := uint64(r.Int63n(10_000)) + 1
+				if r.Intn(2) == 0 {
+					cl.Put(clk, k, k)
+				} else {
+					cl.Get(clk, k)
+				}
+			}
+			return 400
+		})
+	}
+	sherman := run(Sherman())
+	naive := run(Naive())
+	if !(sherman.MeanLatency() < naive.MeanLatency()) {
+		t.Fatalf("sherman %v should beat naive %v", sherman.MeanLatency(), naive.MeanLatency())
+	}
+}
+
+func TestReadOpsPerGet(t *testing.T) {
+	tr := newTree(t, Sherman())
+	cl := tr.Attach(1, nil)
+	clk := sim.NewClock()
+	for i := uint64(1); i <= 200; i++ {
+		cl.Put(clk, i, i)
+	}
+	var st rdma.Stats
+	cl2 := tr.Attach(2, &st)
+	cl2.Get(sim.NewClock(), 100)
+	// Tree of 200 keys with fanout 16: height 2-3, so 2-4 reads and no
+	// locks for an optimistic get.
+	if ops := st.Ops.Load(); ops < 2 || ops > 4 {
+		t.Fatalf("get used %d ops", ops)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	var n node
+	n.addr = 4096
+	n.version = 8
+	n.count = 3
+	n.leaf = true
+	n.low, n.high = 5, 500
+	n.keys = [Fanout]uint64{10, 20, 30}
+	n.vals = [Fanout]uint64{1, 2, 3}
+	got := decodeNode(n.addr, encodeNode(&n))
+	if got.count != 3 || !got.leaf || got.low != 5 || got.high != 500 ||
+		got.keys[1] != 20 || got.vals[2] != 3 || got.version != n.version {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCoversFences(t *testing.T) {
+	n := node{low: 10, high: 20}
+	if n.covers(9) || !n.covers(10) || !n.covers(19) || n.covers(20) {
+		t.Fatal("fence semantics wrong")
+	}
+}

@@ -1,0 +1,221 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func newTree(t *testing.T, opt Options) *Tree {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 256<<20)
+	return New(cfg, pool, opt)
+}
+
+func TestPutGetMemtable(t *testing.T) {
+	tr := newTree(t, DefaultOptions())
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 1, 100)
+	v, ok, err := cl.Get(clk, 1)
+	if err != nil || !ok || v != 100 {
+		t.Fatalf("get: %d %v %v", v, ok, err)
+	}
+	if tr.RunCount() != 0 {
+		t.Fatal("premature flush")
+	}
+	if _, ok, _ := cl.Get(clk, 2); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestFlushAndRemoteRead(t *testing.T) {
+	opt := Options{Shards: 1, MemtableEntries: 64, CompactAt: 100, RemoteCompaction: true}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	for i := uint64(0); i < 200; i++ {
+		if err := cl.Put(clk, i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.RunCount() == 0 {
+		t.Fatal("no flush happened")
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok, err := cl.Get(clk, i)
+		if err != nil || !ok || v != i*3 {
+			t.Fatalf("get %d: %d %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestNewestValueWinsAcrossRuns(t *testing.T) {
+	opt := Options{Shards: 1, MemtableEntries: 16, CompactAt: 100}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	// Write key 5 with generations spread across several flushes.
+	for gen := uint64(1); gen <= 5; gen++ {
+		cl.Put(clk, 5, gen*1000)
+		for i := uint64(0); i < 20; i++ { // force a flush
+			cl.Put(clk, 100+gen*50+i, i)
+		}
+	}
+	v, ok, _ := cl.Get(clk, 5)
+	if !ok || v != 5000 {
+		t.Fatalf("latest gen = %d %v, want 5000", v, ok)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	opt := Options{Shards: 1, MemtableEntries: 8, CompactAt: 100}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 1, 10)
+	cl.FlushAll(clk)
+	cl.Delete(clk, 1)
+	cl.FlushAll(clk)
+	if _, ok, _ := cl.Get(clk, 1); ok {
+		t.Fatal("tombstoned key visible")
+	}
+}
+
+func TestCompactionMergesRuns(t *testing.T) {
+	for _, remote := range []bool{true, false} {
+		opt := Options{Shards: 1, MemtableEntries: 32, CompactAt: 3, RemoteCompaction: remote}
+		tr := newTree(t, opt)
+		cl := tr.Attach(nil)
+		clk := sim.NewClock()
+		for i := uint64(0); i < 500; i++ {
+			if err := cl.Put(clk, i, i+7); err != nil {
+				t.Fatalf("remote=%v put: %v", remote, err)
+			}
+		}
+		if tr.Compactions() == 0 {
+			t.Fatalf("remote=%v: no compaction ran", remote)
+		}
+		if tr.RunCount() >= 4 {
+			t.Fatalf("remote=%v: run count %d not bounded", remote, tr.RunCount())
+		}
+		for i := uint64(0); i < 500; i++ {
+			v, ok, err := cl.Get(clk, i)
+			if err != nil || !ok || v != i+7 {
+				t.Fatalf("remote=%v get %d: %d %v %v", remote, i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestRemoteCompactionCheaperThanLocal(t *testing.T) {
+	// dLSM's core claim: offloading compaction avoids 2x data movement.
+	cost := func(remote bool) (cost int64) {
+		opt := Options{Shards: 1, MemtableEntries: 256, CompactAt: 4, RemoteCompaction: remote}
+		tr := newTree(t, opt)
+		var st rdma.Stats
+		cl := tr.Attach(&st)
+		clk := sim.NewClock()
+		for i := uint64(0); i < 4*256; i++ {
+			cl.Put(clk, i, i)
+		}
+		if tr.Compactions() == 0 {
+			t.Fatal("no compaction")
+		}
+		return st.TotalBytes()
+	}
+	remoteBytes := cost(true)
+	localBytes := cost(false)
+	if !(remoteBytes < localBytes/2) {
+		t.Fatalf("remote compaction moved %d bytes, local %d — offload should save ≫2x", remoteBytes, localBytes)
+	}
+}
+
+func TestShardedConcurrentWriters(t *testing.T) {
+	opt := Options{Shards: 8, MemtableEntries: 64, CompactAt: 4, RemoteCompaction: true}
+	tr := newTree(t, opt)
+	const perWorker = 500
+	res := sim.RunGroup(8, func(id int, clk *sim.Clock) int {
+		cl := tr.Attach(nil)
+		base := uint64(id) * 1_000_000
+		for i := uint64(0); i < perWorker; i++ {
+			if err := cl.Put(clk, base+i, base+i); err != nil {
+				t.Errorf("put: %v", err)
+				return int(i)
+			}
+		}
+		return perWorker
+	})
+	if res.TotalOps != 8*perWorker {
+		t.Fatalf("ops = %d", res.TotalOps)
+	}
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	for id := 0; id < 8; id++ {
+		base := uint64(id) * 1_000_000
+		for i := uint64(0); i < perWorker; i += 17 {
+			v, ok, err := cl.Get(clk, base+i)
+			if err != nil || !ok || v != base+i {
+				t.Fatalf("key %d: %d %v %v", base+i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	keys := []uint64{1, 5, 9, 1000, 77777}
+	f := buildBloom(keys)
+	for _, k := range keys {
+		if !bloomMaybe(f, k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	fp := 0
+	for k := uint64(2_000_000); k < 2_001_000; k++ {
+		if bloomMaybe(f, k) {
+			fp++
+		}
+	}
+	if fp > 500 {
+		t.Fatalf("bloom useless: %d/1000 false positives", fp)
+	}
+	if !bloomMaybe(nil, 1) {
+		t.Fatal("nil filter must admit everything")
+	}
+}
+
+func TestRunMetaCodec(t *testing.T) {
+	r := &run{addr: 4096, count: 33, min: 2, max: 999, bloom: []uint64{1, 2, 3}, blockMins: []uint64{2, 500}}
+	got, err := decodeRunMeta(encodeRunMeta(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.addr != r.addr || got.count != r.count || got.min != r.min || got.max != r.max ||
+		len(got.bloom) != 3 || got.bloom[2] != 3 || len(got.blockMins) != 2 || got.blockMins[1] != 500 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := decodeRunMeta([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short meta accepted")
+	}
+}
+
+func TestGetUsesFewRDMAOps(t *testing.T) {
+	opt := Options{Shards: 1, MemtableEntries: 128, CompactAt: 3, RemoteCompaction: true}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	for i := uint64(0); i < 1000; i++ {
+		cl.Put(clk, i, i)
+	}
+	var st rdma.Stats
+	cl2 := tr.Attach(&st)
+	if _, ok, _ := cl2.Get(sim.NewClock(), 500); !ok {
+		t.Fatal("missing key")
+	}
+	if ops := st.Ops.Load() + st.RPCs.Load(); ops > 3 {
+		t.Fatalf("point lookup used %d fabric ops", ops)
+	}
+}

@@ -1,0 +1,111 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// TestModelEquivalence runs a long random put/get/delete sequence against
+// the tree and a map model across several configurations, including ones
+// that force frequent flushes and compactions.
+func TestModelEquivalence(t *testing.T) {
+	configs := []Options{
+		{Shards: 1, MemtableEntries: 16, CompactAt: 2, RemoteCompaction: true},
+		{Shards: 1, MemtableEntries: 16, CompactAt: 2, RemoteCompaction: false},
+		{Shards: 4, MemtableEntries: 8, CompactAt: 3, RemoteCompaction: true},
+		DefaultOptions(),
+	}
+	for _, opt := range configs {
+		tr := newTree(t, opt)
+		cl := tr.Attach(nil)
+		clk := sim.NewClock()
+		model := make(map[uint64]uint64)
+		r := sim.NewRand(555, 0)
+		for step := 0; step < 5000; step++ {
+			k := uint64(r.Int63n(300))
+			switch r.Intn(4) {
+			case 0, 1: // put
+				v := uint64(r.Int63n(1 << 40))
+				if err := cl.Put(clk, k, v); err != nil {
+					t.Fatalf("opt %+v step %d put: %v", opt, step, err)
+				}
+				model[k] = v
+			case 2: // delete
+				if err := cl.Delete(clk, k); err != nil {
+					t.Fatalf("opt %+v step %d delete: %v", opt, step, err)
+				}
+				delete(model, k)
+			default: // get
+				got, ok, err := cl.Get(clk, k)
+				if err != nil {
+					t.Fatalf("opt %+v step %d get: %v", opt, step, err)
+				}
+				want, wantOK := model[k]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("opt %+v step %d key %d: lsm (%d,%v) model (%d,%v)",
+						opt, step, k, got, ok, want, wantOK)
+				}
+			}
+		}
+		// Sweep after a final flush+compaction barrier.
+		if err := cl.FlushAll(clk); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.CompactAll(clk); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 300; k++ {
+			got, ok, err := cl.Get(clk, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := model[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("opt %+v final key %d: lsm (%d,%v) model (%d,%v)", opt, k, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestPoolExhaustionOnFlush(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "tiny", 256)
+	tr := New(cfg, pool, Options{Shards: 1, MemtableEntries: 8, CompactAt: 100})
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	var sawErr error
+	for i := uint64(0); i < 200; i++ {
+		if err := cl.Put(clk, i, i); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", sawErr)
+	}
+}
+
+func TestCompactionFreesOldRuns(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 1<<20)
+	tr := New(cfg, pool, Options{Shards: 1, MemtableEntries: 32, CompactAt: 3, RemoteCompaction: false})
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	// Overwrite the same small keyspace repeatedly: without compaction
+	// reclaiming runs, the pool would fill with dead versions.
+	for round := 0; round < 50; round++ {
+		for k := uint64(0); k < 64; k++ {
+			if err := cl.Put(clk, k, uint64(round)); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	used := pool.UsedBytes()
+	// Live data is 64 entries = 1KiB; allow run + metadata slack, but
+	// dead versions (50 rounds x 64 keys x 16B = 50KiB) must be gone.
+	if used > 16<<10 {
+		t.Fatalf("pool holds %d bytes — compaction is not reclaiming", used)
+	}
+}

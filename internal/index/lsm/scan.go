@@ -1,0 +1,104 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Entry is one key-value pair returned by Scan.
+type Entry struct {
+	Key   uint64
+	Value uint64
+}
+
+// Scan returns the live entries with lo <= key < hi in ascending key
+// order, merging the memtables and every run newest-first so the freshest
+// version of each key wins and tombstones suppress older versions. Each
+// overlapping run costs the RDMA reads for its intersecting key range.
+func (c *Client) Scan(clk *sim.Clock, lo, hi uint64) ([]Entry, error) {
+	if hi <= lo {
+		return nil, nil
+	}
+	// Newest version per key across all shards.
+	newest := make(map[uint64]uint64) // key -> value (incl. tombstones)
+	settled := make(map[uint64]bool)  // key decided by a newer source
+	for _, s := range c.t.shards {
+		s.mu.Lock()
+		for k, v := range s.mem {
+			if k >= lo && k < hi && !settled[k] {
+				newest[k] = v
+				settled[k] = true
+			}
+		}
+		clk.Advance(c.t.cfg.DRAM.Cost(len(s.mem) / 8 * entrySize))
+		runs := make([]*run, len(s.runs))
+		copy(runs, s.runs)
+		s.mu.Unlock()
+		// Runs newest-first; a key found in a newer run shadows older.
+		for _, r := range runs {
+			if r.count == 0 || r.max < lo || r.min >= hi {
+				continue
+			}
+			ents, err := c.scanRun(clk, r, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range ents {
+				if !settled[e.Key] {
+					newest[e.Key] = e.Value
+					settled[e.Key] = true
+				}
+			}
+		}
+		// Reset the settled set per shard? No: shards hold disjoint key
+		// sets (hash sharding), so cross-shard shadowing cannot occur.
+	}
+	out := make([]Entry, 0, len(newest))
+	for k, v := range newest {
+		if v == Tombstone {
+			continue
+		}
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	clk.Advance(c.t.cfg.CPU.Cost(len(out) * entrySize))
+	return out, nil
+}
+
+// scanRun reads the run's entries intersecting [lo, hi) with one RDMA read
+// spanning the bracketing blocks.
+func (c *Client) scanRun(clk *sim.Clock, r *run, lo, hi uint64) ([]Entry, error) {
+	// First block that could contain lo.
+	b := sort.Search(len(r.blockMins), func(i int) bool { return r.blockMins[i] > lo }) - 1
+	if b < 0 {
+		b = 0
+	}
+	start := b * blockEntries
+	// Last block whose min is below hi.
+	e := sort.Search(len(r.blockMins), func(i int) bool { return r.blockMins[i] >= hi })
+	end := e * blockEntries
+	if end > r.count {
+		end = r.count
+	}
+	if start >= end {
+		return nil, nil
+	}
+	buf := make([]byte, (end-start)*entrySize)
+	if err := c.qp.Read(clk, r.addr+uint64(start*entrySize), buf); err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for i := 0; i < end-start; i++ {
+		k := binary.LittleEndian.Uint64(buf[i*entrySize:])
+		if k < lo {
+			continue
+		}
+		if k >= hi {
+			break
+		}
+		out = append(out, Entry{Key: k, Value: binary.LittleEndian.Uint64(buf[i*entrySize+8:])})
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestScanBasic(t *testing.T) {
+	opt := Options{Shards: 4, MemtableEntries: 32, CompactAt: 3, RemoteCompaction: true}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	for i := uint64(0); i < 500; i++ {
+		cl.Put(clk, i, i*10)
+	}
+	ents, err := cl.Scan(clk, 100, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 10 {
+		t.Fatalf("scan returned %d entries", len(ents))
+	}
+	for i, e := range ents {
+		if e.Key != uint64(100+i) || e.Value != e.Key*10 {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+func TestScanSeesNewestVersionAndSkipsTombstones(t *testing.T) {
+	opt := Options{Shards: 2, MemtableEntries: 8, CompactAt: 100}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	for i := uint64(0); i < 50; i++ {
+		cl.Put(clk, i, 1)
+	}
+	cl.FlushAll(clk)
+	// Overwrite evens, delete key 7.
+	for i := uint64(0); i < 50; i += 2 {
+		cl.Put(clk, i, 2)
+	}
+	cl.Delete(clk, 7)
+	ents, err := cl.Scan(clk, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[uint64]uint64{}
+	for _, e := range ents {
+		byKey[e.Key] = e.Value
+	}
+	if _, ok := byKey[7]; ok {
+		t.Fatal("tombstoned key visible in scan")
+	}
+	if len(ents) != 19 {
+		t.Fatalf("entries = %d, want 19", len(ents))
+	}
+	if byKey[4] != 2 || byKey[5] != 1 {
+		t.Fatalf("version resolution wrong: %v", byKey)
+	}
+}
+
+func TestScanModelEquivalence(t *testing.T) {
+	opt := Options{Shards: 3, MemtableEntries: 16, CompactAt: 3, RemoteCompaction: true}
+	tr := newTree(t, opt)
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	model := map[uint64]uint64{}
+	r := sim.NewRand(99, 0)
+	for step := 0; step < 3000; step++ {
+		k := uint64(r.Int63n(200))
+		if r.Intn(5) == 0 {
+			cl.Delete(clk, k)
+			delete(model, k)
+		} else {
+			v := uint64(r.Int63n(1 << 30))
+			cl.Put(clk, k, v)
+			model[k] = v
+		}
+	}
+	ents, err := cl.Scan(clk, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(model) {
+		t.Fatalf("scan %d entries, model %d", len(ents), len(model))
+	}
+	prev := int64(-1)
+	for _, e := range ents {
+		if int64(e.Key) <= prev {
+			t.Fatalf("scan not sorted at key %d", e.Key)
+		}
+		prev = int64(e.Key)
+		if model[e.Key] != e.Value {
+			t.Fatalf("key %d = %d, model %d", e.Key, e.Value, model[e.Key])
+		}
+	}
+}
+
+func TestScanEmptyAndInvertedRange(t *testing.T) {
+	tr := newTree(t, DefaultOptions())
+	cl := tr.Attach(nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 5, 50)
+	if ents, _ := cl.Scan(clk, 100, 200); len(ents) != 0 {
+		t.Fatal("empty range returned entries")
+	}
+	if ents, _ := cl.Scan(clk, 9, 3); ents != nil {
+		t.Fatal("inverted range returned entries")
+	}
+}

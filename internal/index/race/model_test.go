@@ -1,0 +1,110 @@
+package race
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// TestModelEquivalence runs a long random op sequence against the hash and
+// a map model, across directory depths that force splits mid-sequence.
+func TestModelEquivalence(t *testing.T) {
+	for _, buckets := range []uint64{4, 64} {
+		h := newHash(t, 1, buckets)
+		cl := h.Attach(1, nil)
+		clk := sim.NewClock()
+		model := make(map[uint64][]byte)
+		r := sim.NewRand(777, 0)
+		val := func() []byte {
+			v := make([]byte, 8+r.Intn(24))
+			r.Read(v)
+			return v
+		}
+		for step := 0; step < 5000; step++ {
+			k := uint64(r.Int63n(400))
+			switch r.Intn(4) {
+			case 0, 1:
+				v := val()
+				if err := cl.Put(clk, k, v); err != nil {
+					t.Fatalf("buckets %d step %d put: %v", buckets, step, err)
+				}
+				model[k] = v
+			case 2:
+				ok, err := cl.Delete(clk, k)
+				if err != nil {
+					t.Fatalf("buckets %d step %d delete: %v", buckets, step, err)
+				}
+				if _, want := model[k]; ok != want {
+					t.Fatalf("buckets %d step %d delete(%d) = %v, model %v", buckets, step, k, ok, want)
+				}
+				delete(model, k)
+			default:
+				got, ok, err := cl.Get(clk, k)
+				if err != nil {
+					t.Fatalf("buckets %d step %d get: %v", buckets, step, err)
+				}
+				want, wantOK := model[k]
+				if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("buckets %d step %d key %d: hash (%q,%v) model (%q,%v)",
+						buckets, step, k, got, ok, want, wantOK)
+				}
+			}
+		}
+		for k, want := range model {
+			got, ok, err := cl.Get(clk, k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("final key %d: (%q,%v,%v) want %q", k, got, ok, err, want)
+			}
+		}
+	}
+}
+
+func TestDirectoryGrowthPreservesEverything(t *testing.T) {
+	// Insert monotone keys with big values so splits cascade, verifying
+	// after each growth step that no key was dropped.
+	h := newHash(t, 1, 2)
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	depth := h.GlobalDepth()
+	inserted := uint64(0)
+	for inserted < 1500 {
+		v := make([]byte, 8)
+		binary.LittleEndian.PutUint64(v, inserted^0xDEAD)
+		if err := cl.Put(clk, inserted, v); err != nil {
+			t.Fatalf("put %d: %v", inserted, err)
+		}
+		inserted++
+		if d := h.GlobalDepth(); d != depth {
+			depth = d
+			// Verify the whole keyspace after each directory double.
+			for k := uint64(0); k < inserted; k++ {
+				got, ok, err := cl.Get(clk, k)
+				if err != nil || !ok {
+					t.Fatalf("after growth to depth %d: key %d missing (%v)", d, k, err)
+				}
+				if binary.LittleEndian.Uint64(got) != k^0xDEAD {
+					t.Fatalf("after growth to depth %d: key %d corrupt", d, k)
+				}
+			}
+		}
+	}
+	if depth < 2 {
+		t.Fatalf("test never grew the directory (depth %d)", depth)
+	}
+}
+
+func TestNodeFailurePropagates(t *testing.T) {
+	h := newHash(t, 2, 16)
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 1, []byte("x"))
+	h.pool.Node().Fail()
+	if _, _, err := cl.Get(clk, 1); err == nil {
+		t.Fatal("get on failed node should error")
+	}
+	if err := cl.Put(clk, 2, []byte("y")); err == nil {
+		t.Fatal("put on failed node should error")
+	}
+}

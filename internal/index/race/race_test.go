@@ -1,0 +1,193 @@
+package race
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func newHash(t *testing.T, depth uint8, buckets uint64) *Hash {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 64<<20)
+	h, err := New(cfg, pool, depth, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	h := newHash(t, 2, 16)
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	if err := cl.Put(clk, 42, []byte("value-42")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get(clk, 42)
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if !bytes.Equal(v, []byte("value-42")) {
+		t.Fatalf("value = %q", v)
+	}
+	if _, ok, _ := cl.Get(clk, 43); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestUpdateReplacesValue(t *testing.T) {
+	h := newHash(t, 2, 16)
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 7, []byte("v1"))
+	cl.Put(clk, 7, []byte("v2-longer"))
+	v, ok, _ := cl.Get(clk, 7)
+	if !ok || !bytes.Equal(v, []byte("v2-longer")) {
+		t.Fatalf("after update: %q %v", v, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := newHash(t, 2, 16)
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	cl.Put(clk, 9, []byte("x"))
+	ok, err := cl.Delete(clk, 9)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, ok, _ := cl.Get(clk, 9); ok {
+		t.Fatal("deleted key still readable")
+	}
+	ok, _ = cl.Delete(clk, 9)
+	if ok {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestManyKeysForceSplits(t *testing.T) {
+	h := newHash(t, 1, 4) // tiny: 2 subtables x 4 buckets x 8 slots
+	cl := h.Attach(1, nil)
+	clk := sim.NewClock()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		if err := cl.Put(clk, i, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if h.GlobalDepth() <= 1 {
+		t.Fatalf("no directory growth: depth %d", h.GlobalDepth())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok, err := cl.Get(clk, i)
+		if err != nil || !ok {
+			t.Fatalf("get %d after splits: %v %v", i, ok, err)
+		}
+		if !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("key %d: %q", i, v)
+		}
+	}
+}
+
+func TestGetCostIsOneBucketPlusOneBlock(t *testing.T) {
+	h := newHash(t, 4, 64)
+	cfg := sim.DefaultConfig()
+	var st rdma.Stats
+	cl := h.Attach(1, &st)
+	setup := sim.NewClock()
+	cl.Put(setup, 1, []byte("x"))
+	st.Reset()
+	clk := sim.NewClock()
+	cl.Get(clk, 1)
+	if ops := st.Ops.Load(); ops != 2 {
+		t.Fatalf("get used %d one-sided ops, want 2 (bucket + block)", ops)
+	}
+	if clk.Now() > 3*cfg.RDMA.Cost(64) {
+		t.Fatalf("get cost %v too high", clk.Now())
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	h := newHash(t, 4, 64)
+	const perWorker = 300
+	res := sim.RunGroup(8, func(id int, clk *sim.Clock) int {
+		cl := h.Attach(uint64(id+1), nil)
+		base := uint64(id) * 1_000_000
+		for i := uint64(0); i < perWorker; i++ {
+			if err := cl.Put(clk, base+i, []byte{byte(id)}); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		return perWorker
+	})
+	if res.TotalOps != 8*perWorker {
+		t.Fatalf("ops = %d", res.TotalOps)
+	}
+	cl := h.Attach(99, nil)
+	clk := sim.NewClock()
+	for id := 0; id < 8; id++ {
+		base := uint64(id) * 1_000_000
+		for i := uint64(0); i < perWorker; i++ {
+			v, ok, err := cl.Get(clk, base+i)
+			if err != nil || !ok || v[0] != byte(id) {
+				t.Fatalf("key %d: %v %v %v", base+i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestConcurrentSameKeyLastWriterWins(t *testing.T) {
+	h := newHash(t, 2, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := h.Attach(uint64(id+1), nil)
+			clk := sim.NewClock()
+			for i := 0; i < 100; i++ {
+				if err := cl.Put(clk, 5, []byte{byte(id), byte(i)}); err != nil {
+					t.Errorf("put: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cl := h.Attach(99, nil)
+	v, ok, err := cl.Get(sim.NewClock(), 5)
+	if err != nil || !ok || len(v) != 2 {
+		t.Fatalf("final state: %v %v %v", v, ok, err)
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	h := newHash(t, 2, 16)
+	cl := h.Attach(1, nil)
+	if err := cl.Put(sim.NewClock(), 1, make([]byte, 70_000)); err != ErrValueTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlotPacking(t *testing.T) {
+	w := packSlot(0xABCD, 0x1234, 0xDEADBEEF)
+	fp, vlen, addr := unpackSlot(w)
+	if fp != 0xABCD || vlen != 0x1234 || addr != 0xDEADBEEF {
+		t.Fatalf("unpack = %x %x %x", fp, vlen, addr)
+	}
+	if packSlot(0, 0, 0) != 0 {
+		t.Fatal("zero slot must encode to zero word")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	h := newHash(t, 2, 8)
+	if h.Stats() == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,208 @@
+// Package memnode implements the disaggregated memory pool of §3: one or
+// more RDMA-attached memory nodes with a registered region, a first-fit
+// allocator with an RPC allocation interface (control-plane operations go
+// through two-sided RPC; data-plane accesses are one-sided), and a
+// multi-node pool abstraction for capacity aggregation.
+package memnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied.
+var ErrOutOfMemory = errors.New("memnode: out of memory")
+
+// Pool is one memory node: an rdma.Node plus an allocator over its region.
+type Pool struct {
+	cfg  *sim.Config
+	node *rdma.Node
+
+	mu   sync.Mutex
+	free []span // sorted by addr, coalesced
+	used map[uint64]uint64
+}
+
+type span struct{ addr, size uint64 }
+
+// New creates a memory node with the given capacity. Allocation RPC
+// handlers ("alloc", "free") are registered so remote compute nodes can
+// manage memory with two-sided calls.
+func New(cfg *sim.Config, name string, size int) *Pool {
+	p := &Pool{
+		cfg:  cfg,
+		node: rdma.NewNode(cfg, name, size),
+		free: []span{{0, uint64(size)}},
+		used: make(map[uint64]uint64),
+	}
+	p.node.Handle("alloc", func(c *sim.Clock, req []byte) []byte {
+		var out [16]byte
+		if len(req) != 8 {
+			binary.LittleEndian.PutUint64(out[8:], 1)
+			return out[:]
+		}
+		addr, err := p.Alloc(binary.LittleEndian.Uint64(req))
+		if err != nil {
+			binary.LittleEndian.PutUint64(out[8:], 1)
+			return out[:]
+		}
+		binary.LittleEndian.PutUint64(out[:8], addr)
+		return out[:]
+	})
+	p.node.Handle("free", func(c *sim.Clock, req []byte) []byte {
+		if len(req) == 8 {
+			p.Free(binary.LittleEndian.Uint64(req))
+		}
+		return nil
+	})
+	return p
+}
+
+// Node exposes the underlying RDMA node.
+func (p *Pool) Node() *rdma.Node { return p.node }
+
+// Connect returns a queue pair to this node.
+func (p *Pool) Connect(stats *rdma.Stats) *rdma.QP {
+	return rdma.Connect(p.cfg, p.node, stats)
+}
+
+// Alloc reserves size bytes (8-byte aligned) and returns the address.
+// This is the node-local operation; remote callers use AllocRemote.
+func (p *Pool) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, s := range p.free {
+		if s.size >= size {
+			addr := s.addr
+			if s.size == size {
+				p.free = append(p.free[:i], p.free[i+1:]...)
+			} else {
+				p.free[i] = span{s.addr + size, s.size - size}
+			}
+			p.used[addr] = size
+			return addr, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free releases an allocation, coalescing adjacent free spans.
+func (p *Pool) Free(addr uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	size, ok := p.used[addr]
+	if !ok {
+		return
+	}
+	delete(p.used, addr)
+	p.free = append(p.free, span{addr, size})
+	sort.Slice(p.free, func(i, j int) bool { return p.free[i].addr < p.free[j].addr })
+	out := p.free[:0]
+	for _, s := range p.free {
+		if n := len(out); n > 0 && out[n-1].addr+out[n-1].size == s.addr {
+			out[n-1].size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	p.free = out
+}
+
+// FreeBytes reports unallocated capacity.
+func (p *Pool) FreeBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, s := range p.free {
+		n += s.size
+	}
+	return n
+}
+
+// UsedBytes reports allocated capacity.
+func (p *Pool) UsedBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, s := range p.used {
+		n += s
+	}
+	return n
+}
+
+// AllocRemote performs an allocation from a compute node over the fabric
+// (control-plane RPC).
+func AllocRemote(c *sim.Clock, qp *rdma.QP, size uint64) (uint64, error) {
+	var req [8]byte
+	binary.LittleEndian.PutUint64(req[:], size)
+	resp, err := qp.Call(c, "alloc", req[:])
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 16 {
+		return 0, fmt.Errorf("memnode: bad alloc response (%d bytes)", len(resp))
+	}
+	if binary.LittleEndian.Uint64(resp[8:]) != 0 {
+		return 0, ErrOutOfMemory
+	}
+	return binary.LittleEndian.Uint64(resp[:8]), nil
+}
+
+// FreeRemote releases an allocation over the fabric.
+func FreeRemote(c *sim.Clock, qp *rdma.QP, addr uint64) error {
+	var req [8]byte
+	binary.LittleEndian.PutUint64(req[:], addr)
+	_, err := qp.Call(c, "free", req[:])
+	return err
+}
+
+// Cluster aggregates several memory nodes into one logical pool with
+// capacity-based placement (the "near-infinite memory illusion" of §1).
+type Cluster struct {
+	cfg   *sim.Config
+	Pools []*Pool
+}
+
+// NewCluster builds n nodes of size bytes each.
+func NewCluster(cfg *sim.Config, n, size int) *Cluster {
+	cl := &Cluster{cfg: cfg}
+	for i := 0; i < n; i++ {
+		cl.Pools = append(cl.Pools, New(cfg, fmt.Sprintf("mem-%d", i), size))
+	}
+	return cl
+}
+
+// Alloc places the allocation on the node with the most free capacity.
+func (cl *Cluster) Alloc(size uint64) (*Pool, uint64, error) {
+	var best *Pool
+	var bestFree uint64
+	for _, p := range cl.Pools {
+		if f := p.FreeBytes(); best == nil || f > bestFree {
+			best, bestFree = p, f
+		}
+	}
+	if best == nil {
+		return nil, 0, ErrOutOfMemory
+	}
+	addr, err := best.Alloc(size)
+	return best, addr, err
+}
+
+// TotalFree reports aggregate free capacity.
+func (cl *Cluster) TotalFree() uint64 {
+	var n uint64
+	for _, p := range cl.Pools {
+		n += p.FreeBytes()
+	}
+	return n
+}

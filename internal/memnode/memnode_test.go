@@ -1,0 +1,156 @@
+package memnode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestAllocFreeCoalesce(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "m0", 1024)
+	a, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if p.UsedBytes() != 208 { // 100 -> 104 aligned, x2
+		t.Fatalf("used = %d", p.UsedBytes())
+	}
+	p.Free(a)
+	p.Free(b)
+	if p.FreeBytes() != 1024 {
+		t.Fatalf("free = %d after coalescing", p.FreeBytes())
+	}
+	// After full coalescing one max-size alloc must succeed.
+	if _, err := p.Alloc(1024); err != nil {
+		t.Fatalf("full-region alloc after coalesce: %v", err)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "m0", 256)
+	a, _ := p.Alloc(1)
+	b, _ := p.Alloc(1)
+	if a%8 != 0 || b%8 != 0 {
+		t.Fatalf("unaligned: %d %d", a, b)
+	}
+	if b-a < 8 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "m0", 64)
+	if _, err := p.Alloc(128); err != ErrOutOfMemory {
+		t.Fatalf("oversize alloc: %v", err)
+	}
+	p.Alloc(64)
+	if _, err := p.Alloc(8); err != ErrOutOfMemory {
+		t.Fatalf("alloc after exhaustion: %v", err)
+	}
+}
+
+func TestFreeUnknownAddrIsNoop(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "m0", 128)
+	p.Free(999)
+	if p.FreeBytes() != 128 {
+		t.Fatal("bogus free changed accounting")
+	}
+}
+
+func TestAllocFreeProperty(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	f := func(sizes []uint16) bool {
+		p := New(cfg, "m0", 1<<20)
+		var addrs []uint64
+		seen := make(map[uint64]bool)
+		for _, s := range sizes {
+			a, err := p.Alloc(uint64(s))
+			if err != nil {
+				continue
+			}
+			if seen[a] {
+				return false // double allocation
+			}
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			p.Free(a)
+		}
+		return p.FreeBytes() == 1<<20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteAllocFree(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "m0", 4096)
+	qp := p.Connect(nil)
+	c := sim.NewClock()
+	addr, err := AllocRemote(c, qp, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() < cfg.RDMARPC.Base {
+		t.Fatal("remote alloc did not charge an RPC")
+	}
+	// Data-plane: one-sided write/read to the allocation.
+	if err := qp.Write(c, addr, []byte("payload!")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	qp.Read(c, addr, buf)
+	if string(buf) != "payload!" {
+		t.Fatalf("read back %q", buf)
+	}
+	if err := FreeRemote(c, qp, addr); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeBytes() != 4096 {
+		t.Fatalf("free bytes = %d", p.FreeBytes())
+	}
+	// Exhausted remote alloc surfaces ErrOutOfMemory.
+	if _, err := AllocRemote(c, qp, 1<<20); err != ErrOutOfMemory {
+		t.Fatalf("oversize remote alloc: %v", err)
+	}
+}
+
+func TestClusterPlacement(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cl := NewCluster(cfg, 3, 1024)
+	if cl.TotalFree() != 3072 {
+		t.Fatalf("total = %d", cl.TotalFree())
+	}
+	// Placements should spread by free capacity.
+	used := make(map[*Pool]int)
+	for i := 0; i < 6; i++ {
+		p, _, err := cl.Alloc(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[p]++
+	}
+	if len(used) != 3 {
+		t.Fatalf("allocations landed on %d/3 nodes", len(used))
+	}
+	if cl.TotalFree() != 0 {
+		t.Fatalf("total free = %d", cl.TotalFree())
+	}
+	if _, _, err := cl.Alloc(8); err != ErrOutOfMemory {
+		t.Fatalf("alloc beyond cluster: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistCountMeanMax(t *testing.T) {
+	h := NewHist()
+	h.Record(1 * time.Microsecond)
+	h.Record(3 * time.Microsecond)
+	h.Record(2 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 3*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistQuantileUpperBound(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 99; i++ {
+		h.Record(time.Microsecond)
+	}
+	h.Record(time.Second)
+	p50 := h.Quantile(0.5)
+	if p50 < time.Microsecond || p50 > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1-2µs bucket edge", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < time.Second/2 {
+		t.Fatalf("p99.9 = %v, should reflect the 1s outlier", p999)
+	}
+}
+
+func TestHistQuantileEmptyAndClamped(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Record(time.Millisecond)
+	if h.Quantile(-1) == 0 && h.Quantile(2) == 0 {
+		t.Fatal("clamped quantiles should see the observation")
+	}
+}
+
+func TestHistNegativeRecord(t *testing.T) {
+	h := NewHist()
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative record mishandled: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	h := NewHist()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Record(time.Duration(j) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestLeadingZerosMatchesBits(t *testing.T) {
+	f := func(x uint64) bool {
+		return leadingZeros(x) == bits.LeadingZeros64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if leadingZeros(0) != 64 {
+		t.Fatal("leadingZeros(0) != 64")
+	}
+}
+
+func TestQuantileBoundsObservation(t *testing.T) {
+	// Property: for a single observation d, any quantile's upper bound is
+	// >= d and <= 2d (bucket edge).
+	f := func(v uint32) bool {
+		d := time.Duration(v) + 1
+		h := NewHist()
+		h.Record(d)
+		q := h.Quantile(0.5)
+		return q >= d && q <= 2*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "engine", "tput", "p99")
+	tb.Row("aurora", 1234.0, 250*time.Microsecond)
+	tb.Row("mono", 9.5, 2*time.Second)
+	s := tb.String()
+	for _, want := range []string{"T1: demo", "engine", "aurora", "1.2k", "250.00µs", "2.00s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.50µs",
+		2500 * time.Microsecond: "2.50ms",
+		3 * time.Second:         "3.00s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []time.Duration{5, 1, 4, 2, 3}
+	s := Summarize(ds)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Input must not be mutated.
+	if ds[0] != 5 {
+		t.Fatal("Summarize mutated its input")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("nil input should give zero summary")
+	}
+}

@@ -1,0 +1,504 @@
+// Package offload implements the compute-pushdown systems of §3.2:
+//
+//   - TELEPORT: a general pushdown facility on a disaggregated-OS-style
+//     memory pool — the compute node ships a named function + arguments in
+//     one RPC, the memory node executes it against its local memory, and
+//     only the result crosses the fabric. Because the compute pool caches
+//     (and dirties) parts of the pooled memory, pushdown must synchronize
+//     dirty cached blocks on demand first (TELEPORT's coherence mechanism).
+//
+//   - Farview: a memory-node operator stack (selection, projection,
+//     group-by, aggregation) executed by memory-side hardware with
+//     pipelining across operators, so a chain of operators costs roughly
+//     its slowest stage instead of the sum of stages.
+package offload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrNoColumn is returned for operations on unknown columns.
+var ErrNoColumn = errors.New("offload: no such column")
+
+// RemoteColumns is a columnar dataset resident in a disaggregated memory
+// pool, with an optional compute-local cache that can hold dirty data —
+// the situation TELEPORT's synchronization exists for.
+type RemoteColumns struct {
+	cfg  *sim.Config
+	pool *memnode.Pool
+	rows int
+
+	mu    sync.Mutex
+	addrs map[string]uint64
+	// localDirty holds compute-side modifications not yet written back:
+	// col -> row -> value.
+	localDirty map[string]map[int]int64
+}
+
+// Upload moves a table into the pool and registers the pushdown handlers.
+func Upload(cfg *sim.Config, pool *memnode.Pool, t *query.Table) (*RemoteColumns, error) {
+	rc := &RemoteColumns{
+		cfg:        cfg,
+		pool:       pool,
+		rows:       t.NumRows(),
+		addrs:      make(map[string]uint64),
+		localDirty: make(map[string]map[int]int64),
+	}
+	setup := sim.NewClock()
+	qp := pool.Connect(nil)
+	for i, name := range t.Schema.Cols {
+		addr, err := pool.Alloc(uint64(t.NumRows() * 8))
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, t.NumRows()*8)
+		for j, v := range t.Cols[i] {
+			binary.LittleEndian.PutUint64(buf[j*8:], uint64(v))
+		}
+		if err := qp.Write(setup, addr, buf); err != nil {
+			return nil, err
+		}
+		rc.addrs[name] = addr
+	}
+	pool.Node().Handle("teleport.filtersum", rc.handleFilterSum)
+	pool.Node().Handle("farview.stack", rc.handleStack)
+	rc.registerRowHandlers()
+	return rc, nil
+}
+
+// Rows reports the dataset length.
+func (rc *RemoteColumns) Rows() int { return rc.rows }
+
+func (rc *RemoteColumns) addrOf(col string) (uint64, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	a, ok := rc.addrs[col]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	return a, nil
+}
+
+// LocalWrite stages a compute-side modification in the local cache (dirty:
+// the pooled copy is now stale until Sync).
+func (rc *RemoteColumns) LocalWrite(col string, row int, val int64) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.addrs[col]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	m := rc.localDirty[col]
+	if m == nil {
+		m = make(map[int]int64)
+		rc.localDirty[col] = m
+	}
+	m[row] = val
+	return nil
+}
+
+// DirtyCount reports pending unsynchronized writes.
+func (rc *RemoteColumns) DirtyCount() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for _, m := range rc.localDirty {
+		n += len(m)
+	}
+	return n
+}
+
+// Sync writes dirty cached values back to the pool (charged per dirty
+// word; TELEPORT synchronizes only on demand, which is why it beats
+// application-agnostic page-granularity coherence).
+func (rc *RemoteColumns) Sync(c *sim.Clock, qp *rdma.QP) error {
+	rc.mu.Lock()
+	dirty := rc.localDirty
+	rc.localDirty = make(map[string]map[int]int64)
+	addrs := make(map[string]uint64, len(rc.addrs))
+	for k, v := range rc.addrs {
+		addrs[k] = v
+	}
+	rc.mu.Unlock()
+	var ops []rdma.WriteOp
+	for col, m := range dirty {
+		base := addrs[col]
+		for row, val := range m {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(val))
+			ops = append(ops, rdma.WriteOp{Addr: base + uint64(row*8), Data: b[:]})
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	return qp.WriteBatch(c, ops)
+}
+
+// pagingGranule is the disaggregated-OS paging unit: the TELEPORT
+// substrate fetches remote memory in pages, so a pull-based scan pays a
+// per-page round trip, not one bulk transfer.
+const pagingGranule = 4096
+
+// PullFilterSum is the NO-pushdown baseline: page the columns in over the
+// fabric (4KB remote-paging granularity, as in the disaggregated OSes
+// TELEPORT builds on) and evaluate locally. Local dirty values are merged
+// for free (they are local).
+func (rc *RemoteColumns) PullFilterSum(c *sim.Clock, qp *rdma.QP, predCol string, lo, hi int64, sumCol string) (sum int64, count int64, err error) {
+	pa, err := rc.addrOf(predCol)
+	if err != nil {
+		return 0, 0, err
+	}
+	sa, err := rc.addrOf(sumCol)
+	if err != nil {
+		return 0, 0, err
+	}
+	pbuf := make([]byte, rc.rows*8)
+	sbuf := make([]byte, rc.rows*8)
+	for _, col := range []struct {
+		addr uint64
+		buf  []byte
+	}{{pa, pbuf}, {sa, sbuf}} {
+		for off := 0; off < len(col.buf); off += pagingGranule {
+			end := off + pagingGranule
+			if end > len(col.buf) {
+				end = len(col.buf)
+			}
+			if err := qp.Read(c, col.addr+uint64(off), col.buf[off:end]); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	c.Advance(rc.cfg.CPU.Cost(rc.rows * 16))
+	rc.mu.Lock()
+	pd := rc.localDirty[predCol]
+	sd := rc.localDirty[sumCol]
+	rc.mu.Unlock()
+	for i := 0; i < rc.rows; i++ {
+		pv := int64(binary.LittleEndian.Uint64(pbuf[i*8:]))
+		if v, ok := pd[i]; ok {
+			pv = v
+		}
+		if pv >= lo && pv < hi {
+			sv := int64(binary.LittleEndian.Uint64(sbuf[i*8:]))
+			if v, ok := sd[i]; ok {
+				sv = v
+			}
+			sum += sv
+			count++
+		}
+	}
+	return sum, count, nil
+}
+
+// PushFilterSum is the TELEPORT path: synchronize dirty cached data on
+// demand, then one RPC executes filter+sum on the memory node; only 16
+// bytes return.
+func (rc *RemoteColumns) PushFilterSum(c *sim.Clock, qp *rdma.QP, predCol string, lo, hi int64, sumCol string) (sum int64, count int64, err error) {
+	if err := rc.Sync(c, qp); err != nil {
+		return 0, 0, err
+	}
+	req := encodeFilterSumReq(predCol, lo, hi, sumCol)
+	resp, err := qp.Call(c, "teleport.filtersum", req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp) != 16 {
+		return 0, 0, errors.New("offload: bad pushdown response")
+	}
+	return int64(binary.LittleEndian.Uint64(resp)), int64(binary.LittleEndian.Uint64(resp[8:])), nil
+}
+
+func encodeFilterSumReq(predCol string, lo, hi int64, sumCol string) []byte {
+	req := make([]byte, 0, 32+len(predCol)+len(sumCol))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(lo))
+	req = append(req, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], uint64(hi))
+	req = append(req, b[:]...)
+	req = append(req, byte(len(predCol)))
+	req = append(req, predCol...)
+	req = append(req, byte(len(sumCol)))
+	req = append(req, sumCol...)
+	return req
+}
+
+func decodeFilterSumReq(req []byte) (predCol string, lo, hi int64, sumCol string, err error) {
+	if len(req) < 18 {
+		return "", 0, 0, "", errors.New("offload: short request")
+	}
+	lo = int64(binary.LittleEndian.Uint64(req))
+	hi = int64(binary.LittleEndian.Uint64(req[8:]))
+	p := 16
+	n := int(req[p])
+	p++
+	if len(req) < p+n+1 {
+		return "", 0, 0, "", errors.New("offload: short request")
+	}
+	predCol = string(req[p : p+n])
+	p += n
+	m := int(req[p])
+	p++
+	if len(req) < p+m {
+		return "", 0, 0, "", errors.New("offload: short request")
+	}
+	sumCol = string(req[p : p+m])
+	return predCol, lo, hi, sumCol, nil
+}
+
+// handleFilterSum runs on the memory node: scan both columns from local
+// memory (DRAM cost, no fabric) and return the aggregate.
+func (rc *RemoteColumns) handleFilterSum(c *sim.Clock, req []byte) []byte {
+	predCol, lo, hi, sumCol, err := decodeFilterSumReq(req)
+	if err != nil {
+		return nil
+	}
+	pa, err1 := rc.addrOf(predCol)
+	sa, err2 := rc.addrOf(sumCol)
+	if err1 != nil || err2 != nil {
+		return nil
+	}
+	mem := rc.pool.Node().Mem
+	pbuf := make([]byte, rc.rows*8)
+	sbuf := make([]byte, rc.rows*8)
+	if mem.Read(pa, pbuf) != nil || mem.Read(sa, sbuf) != nil {
+		return nil
+	}
+	// Memory-side work: a simple filter+sum vectorizes and streams at
+	// DRAM bandwidth (TELEPORT targets exactly these light-weight,
+	// memory-intensive operators).
+	c.Advance(rc.cfg.DRAM.Cost(rc.rows * 16))
+	var sum, count int64
+	for i := 0; i < rc.rows; i++ {
+		pv := int64(binary.LittleEndian.Uint64(pbuf[i*8:]))
+		if pv >= lo && pv < hi {
+			sum += int64(binary.LittleEndian.Uint64(sbuf[i*8:]))
+			count++
+		}
+	}
+	resp := make([]byte, 16)
+	binary.LittleEndian.PutUint64(resp, uint64(sum))
+	binary.LittleEndian.PutUint64(resp[8:], uint64(count))
+	return resp
+}
+
+// StageKind enumerates Farview operator-stack stages.
+type StageKind uint8
+
+// Farview stages.
+const (
+	StageSelect  StageKind = iota + 1 // filter rows by [Lo,Hi) on Col
+	StageProject                      // keep only Col (narrows row width)
+	StageGroupBy                      // group by Col…
+	StageAgg                          // …sum Col per group
+)
+
+// Stage is one operator in the Farview stack.
+type Stage struct {
+	Kind StageKind
+	Col  string
+	Lo   int64
+	Hi   int64
+}
+
+// RunStack executes a Farview operator stack on the memory node. With
+// pipelining the stages stream into each other (cost ≈ slowest stage);
+// without it each stage materializes its intermediate to device memory
+// (cost = sum of stages + intermediate writes). Results return over the
+// fabric.
+func (rc *RemoteColumns) RunStack(c *sim.Clock, qp *rdma.QP, stages []Stage, pipelined bool) (map[int64]int64, error) {
+	if err := rc.Sync(c, qp); err != nil {
+		return nil, err
+	}
+	req := encodeStackReq(stages, pipelined)
+	resp, err := qp.Call(c, "farview.stack", req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, errors.New("offload: bad stack response")
+	}
+	n := int(binary.LittleEndian.Uint32(resp))
+	if len(resp) < 4+n*16 {
+		return nil, errors.New("offload: truncated stack response")
+	}
+	out := make(map[int64]int64, n)
+	for i := 0; i < n; i++ {
+		g := int64(binary.LittleEndian.Uint64(resp[4+i*16:]))
+		v := int64(binary.LittleEndian.Uint64(resp[4+i*16+8:]))
+		out[g] = v
+	}
+	return out, nil
+}
+
+func encodeStackReq(stages []Stage, pipelined bool) []byte {
+	req := []byte{byte(len(stages)), 0}
+	if pipelined {
+		req[1] = 1
+	}
+	for _, s := range stages {
+		req = append(req, byte(s.Kind), byte(len(s.Col)))
+		req = append(req, s.Col...)
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(s.Lo))
+		binary.LittleEndian.PutUint64(b[8:], uint64(s.Hi))
+		req = append(req, b[:]...)
+	}
+	return req
+}
+
+func decodeStackReq(req []byte) (stages []Stage, pipelined bool, err error) {
+	if len(req) < 2 {
+		return nil, false, errors.New("offload: short stack request")
+	}
+	n := int(req[0])
+	pipelined = req[1] == 1
+	p := 2
+	for i := 0; i < n; i++ {
+		if len(req) < p+2 {
+			return nil, false, errors.New("offload: short stack request")
+		}
+		kind := StageKind(req[p])
+		cl := int(req[p+1])
+		p += 2
+		if len(req) < p+cl+16 {
+			return nil, false, errors.New("offload: short stack request")
+		}
+		col := string(req[p : p+cl])
+		p += cl
+		lo := int64(binary.LittleEndian.Uint64(req[p:]))
+		hi := int64(binary.LittleEndian.Uint64(req[p+8:]))
+		p += 16
+		stages = append(stages, Stage{Kind: kind, Col: col, Lo: lo, Hi: hi})
+	}
+	return stages, pipelined, nil
+}
+
+// handleStack executes the operator stack node-side.
+func (rc *RemoteColumns) handleStack(c *sim.Clock, req []byte) []byte {
+	stages, pipelined, err := decodeStackReq(req)
+	if err != nil {
+		return nil
+	}
+	mem := rc.pool.Node().Mem
+	readCol := func(col string) ([]int64, bool) {
+		a, err := rc.addrOf(col)
+		if err != nil {
+			return nil, false
+		}
+		buf := make([]byte, rc.rows*8)
+		if mem.Read(a, buf) != nil {
+			return nil, false
+		}
+		vals := make([]int64, rc.rows)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		return vals, true
+	}
+	// Evaluate: selected rows flow through the stack.
+	selected := make([]bool, rc.rows)
+	for i := range selected {
+		selected[i] = true
+	}
+	liveRows := rc.rows
+	var stageCosts []time.Duration
+	var groupCol, aggCol string
+	for _, s := range stages {
+		cost := rc.cfg.DRAM.Cost(liveRows * 8)
+		switch s.Kind {
+		case StageSelect:
+			vals, ok := readCol(s.Col)
+			if !ok {
+				return nil
+			}
+			live := 0
+			for i := range selected {
+				if selected[i] && vals[i] >= s.Lo && vals[i] < s.Hi {
+					live++
+				} else {
+					selected[i] = false
+				}
+			}
+			liveRows = live
+		case StageProject:
+			// Narrowing: subsequent stages touch fewer bytes.
+		case StageGroupBy:
+			groupCol = s.Col
+		case StageAgg:
+			aggCol = s.Col
+		}
+		// Each stage streams at device bandwidth (Farview's operators
+		// are implemented in memory-attached hardware).
+		stageCosts = append(stageCosts, cost)
+	}
+	// Charge the stack: pipelined = max stage; otherwise sum of stages
+	// plus intermediate materialization (write + read per boundary).
+	if pipelined {
+		var max time.Duration
+		for _, d := range stageCosts {
+			if d > max {
+				max = d
+			}
+		}
+		c.Advance(max)
+	} else {
+		var total time.Duration
+		for i, d := range stageCosts {
+			total += d
+			if i < len(stageCosts)-1 {
+				total += 2 * rc.cfg.DRAM.Cost(liveRows*8)
+			}
+		}
+		c.Advance(total)
+	}
+	// Compute the result (group -> sum).
+	var groups, aggs []int64
+	if groupCol != "" {
+		g, ok := readCol(groupCol)
+		if !ok {
+			return nil
+		}
+		groups = g
+	}
+	if aggCol != "" {
+		a, ok := readCol(aggCol)
+		if !ok {
+			return nil
+		}
+		aggs = a
+	}
+	out := make(map[int64]int64)
+	for i := 0; i < rc.rows; i++ {
+		if !selected[i] {
+			continue
+		}
+		var g, v int64
+		if groups != nil {
+			g = groups[i]
+		}
+		if aggs != nil {
+			v = aggs[i]
+		} else {
+			v = 1
+		}
+		out[g] += v
+	}
+	resp := make([]byte, 4, 4+len(out)*16)
+	binary.LittleEndian.PutUint32(resp, uint32(len(out)))
+	for g, v := range out {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(g))
+		binary.LittleEndian.PutUint64(b[8:], uint64(v))
+		resp = append(resp, b[:]...)
+	}
+	return resp
+}

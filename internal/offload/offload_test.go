@@ -1,0 +1,215 @@
+package offload
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func setup(t *testing.T, rows int) (*sim.Config, *RemoteColumns, *rdma.QP) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 256<<20)
+	tbl := query.NewTable("a", "b")
+	for i := 0; i < rows; i++ {
+		tbl.AppendRow(int64(i%100), int64(i))
+	}
+	rc, err := Upload(cfg, pool, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, rc, pool.Connect(nil)
+}
+
+func naiveFilterSum(rows int, lo, hi int64) (sum, count int64) {
+	for i := 0; i < rows; i++ {
+		if v := int64(i % 100); v >= lo && v < hi {
+			sum += int64(i)
+			count++
+		}
+	}
+	return
+}
+
+func TestPullAndPushAgree(t *testing.T) {
+	_, rc, qp := setup(t, 50_000)
+	wantSum, wantCount := naiveFilterSum(50_000, 10, 20)
+	pullSum, pullCount, err := rc.PullFilterSum(sim.NewClock(), qp, "a", 10, 20, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushSum, pushCount, err := rc.PushFilterSum(sim.NewClock(), qp, "a", 10, 20, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pullSum != wantSum || pullCount != wantCount {
+		t.Fatalf("pull = (%d,%d), want (%d,%d)", pullSum, pullCount, wantSum, wantCount)
+	}
+	if pushSum != wantSum || pushCount != wantCount {
+		t.Fatalf("push = (%d,%d), want (%d,%d)", pushSum, pushCount, wantSum, wantCount)
+	}
+}
+
+func TestPushdownBeatsPullOnSelectiveQueries(t *testing.T) {
+	// E13: pushdown eliminates the bulk transfer when output ≪ input.
+	_, rc, qp := setup(t, 200_000)
+	pull := sim.NewClock()
+	if _, _, err := rc.PullFilterSum(pull, qp, "a", 10, 12, "b"); err != nil {
+		t.Fatal(err)
+	}
+	push := sim.NewClock()
+	if _, _, err := rc.PushFilterSum(push, qp, "a", 10, 12, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if !(push.Now() < pull.Now()/2) {
+		t.Fatalf("pushdown %v should be ≫ faster than pull %v", push.Now(), pull.Now())
+	}
+}
+
+func TestPushdownMovesFarFewerBytes(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "m0", 256<<20)
+	tbl := query.NewTable("a", "b")
+	for i := 0; i < 100_000; i++ {
+		tbl.AppendRow(int64(i%100), int64(i))
+	}
+	rc, err := Upload(cfg, pool, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pullStats, pushStats rdma.Stats
+	qpPull := pool.Connect(&pullStats)
+	qpPush := pool.Connect(&pushStats)
+	rc.PullFilterSum(sim.NewClock(), qpPull, "a", 0, 5, "b")
+	rc.PushFilterSum(sim.NewClock(), qpPush, "a", 0, 5, "b")
+	if !(pushStats.TotalBytes() < pullStats.TotalBytes()/100) {
+		t.Fatalf("push moved %d bytes, pull %d", pushStats.TotalBytes(), pullStats.TotalBytes())
+	}
+}
+
+func TestDirtyDataSynchronizedBeforePushdown(t *testing.T) {
+	// TELEPORT's coherence: compute-local dirty values must be visible
+	// to the pushed-down computation.
+	_, rc, qp := setup(t, 1000)
+	// Overwrite row 0: pred value outside range, so it must be excluded.
+	if err := rc.LocalWrite("a", 0, 999); err != nil {
+		t.Fatal(err)
+	}
+	// And row 1's sum value becomes 1_000_000.
+	if err := rc.LocalWrite("b", 1, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if rc.DirtyCount() != 2 {
+		t.Fatalf("dirty = %d", rc.DirtyCount())
+	}
+	sum, count, err := rc.PushFilterSum(sim.NewClock(), qp, "a", 0, 5, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.DirtyCount() != 0 {
+		t.Fatal("pushdown did not synchronize dirty data")
+	}
+	// Naive recomputation with the edits applied.
+	var wantSum, wantCount int64
+	for i := 0; i < 1000; i++ {
+		pv := int64(i % 100)
+		if i == 0 {
+			pv = 999
+		}
+		if pv >= 0 && pv < 5 {
+			sv := int64(i)
+			if i == 1 {
+				sv = 1_000_000
+			}
+			wantSum += sv
+			wantCount++
+		}
+	}
+	if sum != wantSum || count != wantCount {
+		t.Fatalf("push after dirty writes = (%d,%d), want (%d,%d)", sum, count, wantSum, wantCount)
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	_, rc, qp := setup(t, 100)
+	if _, _, err := rc.PullFilterSum(sim.NewClock(), qp, "zzz", 0, 1, "b"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if err := rc.LocalWrite("zzz", 0, 1); err == nil {
+		t.Fatal("unknown column write accepted")
+	}
+}
+
+func TestFarviewStackCorrectness(t *testing.T) {
+	_, rc, qp := setup(t, 10_000)
+	stages := []Stage{
+		{Kind: StageSelect, Col: "a", Lo: 0, Hi: 10},
+		{Kind: StageGroupBy, Col: "a"},
+		{Kind: StageAgg, Col: "b"},
+	}
+	out, err := rc.RunStack(sim.NewClock(), qp, stages, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	// Verify group 3: sum of i where i%100 == 3.
+	var want int64
+	for i := 0; i < 10_000; i++ {
+		if i%100 == 3 {
+			want += int64(i)
+		}
+	}
+	if out[3] != want {
+		t.Fatalf("group 3 = %d, want %d", out[3], want)
+	}
+}
+
+func TestFarviewPipeliningCheaper(t *testing.T) {
+	// E14: the pipelined operator stack beats stage-at-a-time
+	// materialization.
+	_, rc, qp := setup(t, 200_000)
+	stages := []Stage{
+		{Kind: StageSelect, Col: "a", Lo: 0, Hi: 50},
+		{Kind: StageProject, Col: "b"},
+		{Kind: StageGroupBy, Col: "a"},
+		{Kind: StageAgg, Col: "b"},
+	}
+	piped := sim.NewClock()
+	outP, err := rc.RunStack(piped, qp, stages, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := sim.NewClock()
+	outM, err := rc.RunStack(mat, qp, stages, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outP) != len(outM) {
+		t.Fatalf("results differ: %d vs %d groups", len(outP), len(outM))
+	}
+	if !(piped.Now() < mat.Now()) {
+		t.Fatalf("pipelined %v should beat materialized %v", piped.Now(), mat.Now())
+	}
+}
+
+func TestStackCodecRoundTrip(t *testing.T) {
+	stages := []Stage{
+		{Kind: StageSelect, Col: "abc", Lo: -5, Hi: 100},
+		{Kind: StageAgg, Col: "x"},
+	}
+	got, piped, err := decodeStackReq(encodeStackReq(stages, true))
+	if err != nil || !piped || len(got) != 2 {
+		t.Fatalf("decode: %v %v %d", err, piped, len(got))
+	}
+	if got[0] != stages[0] || got[1] != stages[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, _, err := decodeStackReq([]byte{5}); err == nil {
+		t.Fatal("short request accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package offload
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// RegisterRowHandlers installs the row-returning pushdown ("filter rows"),
+// used by the E13 selectivity sweep: unlike an aggregate, its result size
+// grows with selectivity, so the pushdown advantage shrinks as selectivity
+// approaches one.
+func (rc *RemoteColumns) registerRowHandlers() {
+	rc.pool.Node().Handle("teleport.filterrows", rc.handleFilterRows)
+}
+
+// PullFilterRows pages both columns in and returns the sum-column values
+// of matching rows (client-side evaluation).
+func (rc *RemoteColumns) PullFilterRows(c *sim.Clock, qp *rdma.QP, predCol string, lo, hi int64, outCol string) ([]int64, error) {
+	pa, err := rc.addrOf(predCol)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := rc.addrOf(outCol)
+	if err != nil {
+		return nil, err
+	}
+	pbuf := make([]byte, rc.rows*8)
+	sbuf := make([]byte, rc.rows*8)
+	for _, col := range []struct {
+		addr uint64
+		buf  []byte
+	}{{pa, pbuf}, {sa, sbuf}} {
+		for off := 0; off < len(col.buf); off += pagingGranule {
+			end := off + pagingGranule
+			if end > len(col.buf) {
+				end = len(col.buf)
+			}
+			if err := qp.Read(c, col.addr+uint64(off), col.buf[off:end]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.Advance(rc.cfg.CPU.Cost(rc.rows * 16))
+	var out []int64
+	for i := 0; i < rc.rows; i++ {
+		pv := int64(binary.LittleEndian.Uint64(pbuf[i*8:]))
+		if pv >= lo && pv < hi {
+			out = append(out, int64(binary.LittleEndian.Uint64(sbuf[i*8:])))
+		}
+	}
+	return out, nil
+}
+
+// PushFilterRows offloads the filter and transfers back only matching rows.
+func (rc *RemoteColumns) PushFilterRows(c *sim.Clock, qp *rdma.QP, predCol string, lo, hi int64, outCol string) ([]int64, error) {
+	if err := rc.Sync(c, qp); err != nil {
+		return nil, err
+	}
+	resp, err := qp.Call(c, "teleport.filterrows", encodeFilterSumReq(predCol, lo, hi, outCol))
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, errors.New("offload: bad filterrows response")
+	}
+	n := int(binary.LittleEndian.Uint32(resp))
+	if len(resp) < 4+n*8 {
+		return nil, errors.New("offload: truncated filterrows response")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(resp[4+i*8:]))
+	}
+	return out, nil
+}
+
+func (rc *RemoteColumns) handleFilterRows(c *sim.Clock, req []byte) []byte {
+	predCol, lo, hi, outCol, err := decodeFilterSumReq(req)
+	if err != nil {
+		return nil
+	}
+	pa, err1 := rc.addrOf(predCol)
+	sa, err2 := rc.addrOf(outCol)
+	if err1 != nil || err2 != nil {
+		return nil
+	}
+	mem := rc.pool.Node().Mem
+	pbuf := make([]byte, rc.rows*8)
+	sbuf := make([]byte, rc.rows*8)
+	if mem.Read(pa, pbuf) != nil || mem.Read(sa, sbuf) != nil {
+		return nil
+	}
+	c.Advance(rc.cfg.DRAM.Cost(rc.rows * 16))
+	resp := make([]byte, 4)
+	n := 0
+	for i := 0; i < rc.rows; i++ {
+		pv := int64(binary.LittleEndian.Uint64(pbuf[i*8:]))
+		if pv >= lo && pv < hi {
+			resp = append(resp, sbuf[i*8:i*8+8]...)
+			n++
+		}
+	}
+	binary.LittleEndian.PutUint32(resp, uint32(n))
+	return resp
+}

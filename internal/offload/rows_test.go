@@ -1,0 +1,115 @@
+package offload
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestFilterRowsPullPushAgree(t *testing.T) {
+	_, rc, qp := setup(t, 20_000)
+	if rc.Rows() != 20_000 {
+		t.Fatalf("rows = %d", rc.Rows())
+	}
+	pulled, err := rc.PullFilterRows(sim.NewClock(), qp, "a", 5, 8, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := rc.PushFilterRows(sim.NewClock(), qp, "a", 5, 8, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pulled) != len(pushed) || len(pulled) == 0 {
+		t.Fatalf("lengths %d vs %d", len(pulled), len(pushed))
+	}
+	sort.Slice(pulled, func(i, j int) bool { return pulled[i] < pulled[j] })
+	sort.Slice(pushed, func(i, j int) bool { return pushed[i] < pushed[j] })
+	for i := range pulled {
+		if pulled[i] != pushed[i] {
+			t.Fatalf("row %d: %d vs %d", i, pulled[i], pushed[i])
+		}
+		// Values are row indices with a%100 in [5,8).
+		if m := pulled[i] % 100; m < 5 || m >= 8 {
+			t.Fatalf("row value %d fails predicate", pulled[i])
+		}
+	}
+}
+
+func TestFilterRowsAdvantageShrinksWithSelectivity(t *testing.T) {
+	_, rc, qp := setup(t, 100_000)
+	speedup := func(lo, hi int64) float64 {
+		pc := sim.NewClock()
+		if _, err := rc.PullFilterRows(pc, qp, "a", lo, hi, "b"); err != nil {
+			t.Fatal(err)
+		}
+		sc := sim.NewClock()
+		if _, err := rc.PushFilterRows(sc, qp, "a", lo, hi, "b"); err != nil {
+			t.Fatal(err)
+		}
+		return float64(pc.Now()) / float64(sc.Now())
+	}
+	narrow := speedup(0, 1) // 1% of rows
+	wide := speedup(0, 95)  // 95% of rows
+	if !(narrow > wide) {
+		t.Fatalf("advantage should shrink with selectivity: %.1fx vs %.1fx", narrow, wide)
+	}
+	if narrow < 2 {
+		t.Fatalf("selective pushdown advantage too small: %.1fx", narrow)
+	}
+}
+
+func TestFilterRowsErrors(t *testing.T) {
+	_, rc, qp := setup(t, 100)
+	if _, err := rc.PullFilterRows(sim.NewClock(), qp, "zzz", 0, 1, "b"); err == nil {
+		t.Fatal("unknown pred column accepted")
+	}
+	if _, err := rc.PullFilterRows(sim.NewClock(), qp, "a", 0, 1, "zzz"); err == nil {
+		t.Fatal("unknown out column accepted")
+	}
+	if _, err := rc.PushFilterRows(sim.NewClock(), qp, "zzz", 0, 1, "b"); err == nil {
+		t.Fatal("unknown pushdown column accepted")
+	}
+}
+
+func TestPushFilterRowsSyncsDirtyData(t *testing.T) {
+	_, rc, qp := setup(t, 1000)
+	// Move row 0's predicate value into the selected range.
+	if err := rc.LocalWrite("a", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rc.PushFilterRows(sim.NewClock(), qp, "a", 42, 43, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rows {
+		if v == 0 { // row 0's "b" value is 0
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dirty predicate value not visible to pushdown")
+	}
+	if rc.DirtyCount() != 0 {
+		t.Fatal("sync did not drain dirty set")
+	}
+}
+
+func TestHandlersRejectMalformedRequests(t *testing.T) {
+	_, rc, qp := setup(t, 100)
+	// Raw RPC with a garbage payload must not crash the node; handlers
+	// return empty responses which surface as client-side errors.
+	if resp, err := qp.Call(sim.NewClock(), "teleport.filterrows", []byte{1, 2}); err == nil && len(resp) >= 4 {
+		t.Fatal("malformed request produced a plausible response")
+	}
+	if resp, err := qp.Call(sim.NewClock(), "teleport.filtersum", []byte{9}); err == nil && len(resp) == 16 {
+		t.Fatal("malformed request produced a plausible response")
+	}
+	if resp, err := qp.Call(sim.NewClock(), "farview.stack", nil); err == nil && len(resp) >= 4 {
+		t.Fatal("malformed request produced a plausible response")
+	}
+	_ = rc
+	var _ *rdma.QP = qp
+}

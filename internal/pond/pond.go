@@ -1,0 +1,240 @@
+// Package pond implements the Pond-style CXL memory pooling framework of
+// §3.3: DRAM is pooled across small groups of sockets through a CXL
+// switch, and a prediction model decides, at VM allocation time, how much
+// of the VM's memory can live in the (slower) pool without violating a
+// performance target. Pond's two insights are modeled directly: pooling
+// across small socket groups already recovers most stranded DRAM, and the
+// predictor keeps slowdowns bounded by giving latency-sensitive VMs local
+// memory only.
+package pond
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrNoCapacity is returned when a VM cannot be placed.
+var ErrNoCapacity = errors.New("pond: no capacity")
+
+// VM is one virtual machine request with the telemetry features Pond's
+// models consume.
+type VM struct {
+	ID    int
+	MemGB int
+	// Workload features (telemetry available at allocation time).
+	MemIntensity  float64 // fraction of cycles stalled on memory, 0..1
+	UntouchedFrac float64 // fraction of its memory the VM never touches
+	// latencySensitive is the ground truth used for evaluation.
+	latencySensitive bool
+}
+
+// Socket is one host socket with local DRAM.
+type Socket struct {
+	TotalGB int
+	UsedGB  int
+}
+
+// Pool is a group of sockets sharing a CXL memory pool.
+type Pool struct {
+	cfg     *sim.Config
+	Sockets []*Socket
+	// CXLTotalGB / CXLUsedGB track the shared pool.
+	CXLTotalGB int
+	CXLUsedGB  int
+	// MaxPoolFrac caps the fraction of a VM's memory placed in the pool.
+	MaxPoolFrac float64
+
+	placements []Placement
+}
+
+// Placement records where a VM's memory landed.
+type Placement struct {
+	VM       VM
+	Socket   int
+	LocalGB  int
+	PooledGB int
+	// Slowdown is the modeled performance loss vs all-local.
+	Slowdown float64
+}
+
+// NewPool builds a socket group: `sockets` sockets of perSocketGB each and
+// a shared CXL pool of cxlGB.
+func NewPool(cfg *sim.Config, sockets, perSocketGB, cxlGB int) *Pool {
+	p := &Pool{cfg: cfg, CXLTotalGB: cxlGB, MaxPoolFrac: 0.5}
+	for i := 0; i < sockets; i++ {
+		p.Sockets = append(p.Sockets, &Socket{TotalGB: perSocketGB})
+	}
+	return p
+}
+
+// Predictor decides whether a VM tolerates pooled memory, and how much.
+type Predictor interface {
+	// PoolFraction returns the fraction of the VM's memory to place in
+	// the CXL pool (0 = all local).
+	PoolFraction(vm VM) float64
+}
+
+// StaticPredictor always pools the same fraction (the no-ML baseline).
+type StaticPredictor struct{ Frac float64 }
+
+// PoolFraction implements Predictor.
+func (s StaticPredictor) PoolFraction(VM) float64 { return s.Frac }
+
+// ModelPredictor is Pond's supervised model distilled to its two features:
+// memory intensity (latency sensitivity proxy) and untouched memory (free
+// to pool — the VM will never notice).
+type ModelPredictor struct {
+	// IntensityCutoff above which a VM is treated as latency-sensitive.
+	IntensityCutoff float64
+	// MaxFrac bounds pooling for insensitive VMs.
+	MaxFrac float64
+}
+
+// DefaultModel returns the calibrated predictor.
+func DefaultModel() ModelPredictor { return ModelPredictor{IntensityCutoff: 0.35, MaxFrac: 0.5} }
+
+// PoolFraction implements Predictor.
+func (m ModelPredictor) PoolFraction(vm VM) float64 {
+	frac := vm.UntouchedFrac // untouched memory pools for free
+	if vm.MemIntensity < m.IntensityCutoff {
+		frac += (m.MaxFrac - frac) * (1 - vm.MemIntensity/m.IntensityCutoff)
+	}
+	if frac > m.MaxFrac {
+		frac = m.MaxFrac
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}
+
+// slowdown models the performance loss of placing pooledFrac of a VM's
+// *touched* memory on CXL: proportional to memory intensity and the
+// CXL:DRAM latency gap.
+func (p *Pool) slowdown(vm VM, pooledGB int) float64 {
+	if vm.MemGB == 0 || pooledGB == 0 {
+		return 0
+	}
+	touched := float64(vm.MemGB) * (1 - vm.UntouchedFrac)
+	pooledTouched := float64(pooledGB) - float64(vm.MemGB)*vm.UntouchedFrac
+	if pooledTouched <= 0 {
+		return 0
+	}
+	gap := float64(p.cfg.CXL.Base)/float64(p.cfg.DRAM.Base) - 1
+	return vm.MemIntensity * gap * (pooledTouched / touched)
+}
+
+// Place allocates a VM using the predictor, preferring the least-loaded
+// socket. Returns the placement.
+func (p *Pool) Place(vm VM, pred Predictor) (Placement, error) {
+	frac := pred.PoolFraction(vm)
+	if frac > p.MaxPoolFrac {
+		frac = p.MaxPoolFrac
+	}
+	pooled := int(float64(vm.MemGB) * frac)
+	if p.CXLUsedGB+pooled > p.CXLTotalGB {
+		pooled = p.CXLTotalGB - p.CXLUsedGB
+		if pooled < 0 {
+			pooled = 0
+		}
+	}
+	local := vm.MemGB - pooled
+	// Least-loaded socket with room.
+	best := -1
+	for i, s := range p.Sockets {
+		if s.TotalGB-s.UsedGB >= local {
+			if best == -1 || s.UsedGB < p.Sockets[best].UsedGB {
+				best = i
+			}
+		}
+	}
+	if best == -1 {
+		// Try shifting more to the pool.
+		for i, s := range p.Sockets {
+			free := s.TotalGB - s.UsedGB
+			need := vm.MemGB - free
+			if free > 0 && p.CXLUsedGB+need <= p.CXLTotalGB && float64(need)/float64(vm.MemGB) <= p.MaxPoolFrac {
+				best = i
+				pooled = need
+				local = free
+				break
+			}
+		}
+	}
+	if best == -1 {
+		return Placement{}, ErrNoCapacity
+	}
+	p.Sockets[best].UsedGB += local
+	p.CXLUsedGB += pooled
+	pl := Placement{VM: vm, Socket: best, LocalGB: local, PooledGB: pooled, Slowdown: p.slowdown(vm, pooled)}
+	p.placements = append(p.placements, pl)
+	return pl, nil
+}
+
+// Placements returns all successful placements.
+func (p *Pool) Placements() []Placement { return p.placements }
+
+// DRAMUtilization reports used/total across sockets (stranding shows up as
+// low utilization).
+func (p *Pool) DRAMUtilization() float64 {
+	var used, total int
+	for _, s := range p.Sockets {
+		used += s.UsedGB
+		total += s.TotalGB
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+// PlacedGB reports total VM memory successfully placed.
+func (p *Pool) PlacedGB() int {
+	n := 0
+	for _, pl := range p.placements {
+		n += pl.VM.MemGB
+	}
+	return n
+}
+
+// MaxSlowdown reports the worst per-VM slowdown (the SLO Pond guards).
+func (p *Pool) MaxSlowdown() float64 {
+	var m float64
+	for _, pl := range p.placements {
+		if pl.Slowdown > m {
+			m = pl.Slowdown
+		}
+	}
+	return m
+}
+
+// GenerateVMs produces a synthetic arrival trace with a realistic mix:
+// ~30% memory-intensive (latency-sensitive) VMs and a long tail of small,
+// mostly idle VMs with untouched memory (the stranding source).
+func GenerateVMs(seed int64, n int) []VM {
+	r := rand.New(rand.NewSource(seed))
+	vms := make([]VM, n)
+	for i := range vms {
+		sensitive := r.Float64() < 0.3
+		vm := VM{ID: i, latencySensitive: sensitive}
+		if sensitive {
+			vm.MemGB = 8 + r.Intn(56)
+			vm.MemIntensity = 0.4 + 0.5*r.Float64()
+			vm.UntouchedFrac = 0.05 * r.Float64()
+		} else {
+			vm.MemGB = 2 + r.Intn(30)
+			vm.MemIntensity = 0.3 * r.Float64()
+			vm.UntouchedFrac = 0.2 + 0.4*r.Float64()
+		}
+		vms[i] = vm
+	}
+	return vms
+}
+
+// String renders a placement.
+func (pl Placement) String() string {
+	return fmt.Sprintf("vm%d: %dGB local + %dGB pooled (slowdown %.1f%%)", pl.VM.ID, pl.LocalGB, pl.PooledGB, 100*pl.Slowdown)
+}

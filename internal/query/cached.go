@@ -1,0 +1,92 @@
+package query
+
+import (
+	"container/list"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// CachedSource wraps any Source with a compute-local block cache (e.g. the
+// SSD/ephemeral-disk file cache of a Snowflake virtual warehouse, or a
+// compute-node DRAM cache over remote memory). Cached blocks cost a DRAM
+// touch; misses go to the inner source.
+type CachedSource struct {
+	cfg   *sim.Config
+	inner Source
+	cap   int
+
+	lru   *list.List // of cacheKey, front = hottest
+	index map[cacheKey]*cacheEntry
+	hits  int64
+	miss  int64
+}
+
+type cacheKey struct{ col, block int }
+
+type cacheEntry struct {
+	vals []int64
+	elem *list.Element
+}
+
+// NewCachedSource wraps inner with a cache of capBlocks column-blocks.
+func NewCachedSource(cfg *sim.Config, inner Source, capBlocks int) *CachedSource {
+	return &CachedSource{cfg: cfg, inner: inner, cap: capBlocks, lru: list.New(), index: make(map[cacheKey]*cacheEntry)}
+}
+
+// Schema implements Source.
+func (s *CachedSource) Schema() Schema { return s.inner.Schema() }
+
+// NumRows implements Source.
+func (s *CachedSource) NumRows() int { return s.inner.NumRows() }
+
+// Zones implements Source.
+func (s *CachedSource) Zones(col int) *ZoneMap { return s.inner.Zones(col) }
+
+// HitRatio reports the cache hit ratio.
+func (s *CachedSource) HitRatio() float64 {
+	if s.hits+s.miss == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.hits+s.miss)
+}
+
+// ReadBlock implements Source.
+func (s *CachedSource) ReadBlock(c *sim.Clock, block int, cols []int) ([][]int64, error) {
+	out := make([][]int64, len(cols))
+	var missing []int
+	var missingIdx []int
+	for i, col := range cols {
+		k := cacheKey{col, block}
+		if e, ok := s.index[k]; ok {
+			s.hits++
+			s.lru.MoveToFront(e.elem)
+			c.Advance(s.cfg.DRAM.Cost(len(e.vals) * 8))
+			out[i] = e.vals
+			continue
+		}
+		s.miss++
+		missing = append(missing, col)
+		missingIdx = append(missingIdx, i)
+	}
+	if len(missing) > 0 {
+		data, err := s.inner.ReadBlock(c, block, missing)
+		if err != nil {
+			return nil, err
+		}
+		for j, col := range missing {
+			out[missingIdx[j]] = data[j]
+			if s.cap > 0 {
+				for s.lru.Len() >= s.cap {
+					back := s.lru.Back()
+					delete(s.index, back.Value.(cacheKey))
+					s.lru.Remove(back)
+				}
+				k := cacheKey{col, block}
+				e := &cacheEntry{vals: data[j]}
+				e.elem = s.lru.PushFront(k)
+				s.index[k] = e
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package query
+
+import (
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// SpillTarget selects where a memory-constrained operator spills state
+// that exceeds its budget — the E12 experimental variable: a disaggregated
+// memory pool turns disk spills into (much cheaper) remote-memory spills.
+type SpillTarget int
+
+// Spill targets.
+const (
+	SpillNone   SpillTarget = iota // assume unlimited local memory
+	SpillSSD                       // grace-hash partitions on local SSD
+	SpillRemote                    // partitions in the remote memory pool
+)
+
+func (t SpillTarget) String() string {
+	switch t {
+	case SpillSSD:
+		return "ssd"
+	case SpillRemote:
+		return "remote-mem"
+	default:
+		return "none"
+	}
+}
+
+// MemoryBudget bounds operator state for a query and accounts spill
+// traffic costs. The join keeps results exact regardless of budget; only
+// the charged I/O differs (grace-hash re-partitioning is modeled as write
+// + read of the spilled fraction on the spill medium).
+type MemoryBudget struct {
+	cfg *sim.Config
+	// Bytes of operator state allowed in local memory (0 = unlimited).
+	Bytes int
+	// Target is where overflow goes.
+	Target SpillTarget
+	// SpilledBytes accumulates total bytes spilled (metrics).
+	SpilledBytes int64
+}
+
+// NewMemoryBudget builds a budget.
+func NewMemoryBudget(cfg *sim.Config, bytes int, target SpillTarget) *MemoryBudget {
+	return &MemoryBudget{cfg: cfg, Bytes: bytes, Target: target}
+}
+
+// chargeSpillWrite charges writing n bytes of overflow to the medium.
+func (m *MemoryBudget) chargeSpillWrite(c *sim.Clock, n int) {
+	if n <= 0 {
+		return
+	}
+	m.SpilledBytes += int64(n)
+	switch m.Target {
+	case SpillSSD:
+		c.Advance(m.cfg.SSDWrite.Cost(n))
+	case SpillRemote:
+		c.Advance(m.cfg.RDMA.Cost(n))
+	}
+}
+
+// chargeSpillRead charges reading n bytes back.
+func (m *MemoryBudget) chargeSpillRead(c *sim.Clock, n int) {
+	if n <= 0 {
+		return
+	}
+	switch m.Target {
+	case SpillSSD:
+		c.Advance(m.cfg.SSDRead.Cost(n))
+	case SpillRemote:
+		c.Advance(m.cfg.RDMA.Cost(n))
+	}
+}
+
+// HashJoin is an equi-join: build side is drained into a hash table on
+// first Next, then probe batches stream through. When the build side
+// exceeds the memory budget the overflow is spilled grace-hash style: the
+// spilled fraction of both inputs is written to and re-read from the spill
+// medium.
+type HashJoin struct {
+	cfg      *sim.Config
+	build    Operator
+	probe    Operator
+	buildCol string
+	probeCol string
+	budget   *MemoryBudget
+
+	built      bool
+	table      map[int64][][]int64 // key -> build rows (column values)
+	buildWidth int
+	spillFrac  float64
+}
+
+// NewHashJoin constructs the join. budget may be nil (unlimited).
+func NewHashJoin(cfg *sim.Config, build, probe Operator, buildCol, probeCol string, budget *MemoryBudget) *HashJoin {
+	if budget == nil {
+		budget = NewMemoryBudget(cfg, 0, SpillNone)
+	}
+	return &HashJoin{cfg: cfg, build: build, probe: probe, buildCol: buildCol, probeCol: probeCol, budget: budget}
+}
+
+// Schema implements Operator: probe columns followed by build columns.
+func (j *HashJoin) Schema() Schema {
+	cols := append([]string{}, j.probe.Schema().Cols...)
+	for _, c := range j.build.Schema().Cols {
+		cols = append(cols, "b_"+c)
+	}
+	return Schema{Cols: cols}
+}
+
+func (j *HashJoin) runBuild(c *sim.Clock) error {
+	bIdx, err := j.build.Schema().ColIndex(j.buildCol)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[int64][][]int64)
+	j.buildWidth = len(j.build.Schema().Cols)
+	bytesHeld := 0
+	spilled := 0
+	for {
+		b, err := j.build.Next(c)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		rowBytes := j.buildWidth * 8
+		c.Advance(j.cfg.CPU.Cost(b.Len() * rowBytes))
+		for r := 0; r < b.Len(); r++ {
+			key := b.Cols[bIdx][r]
+			row := make([]int64, j.buildWidth)
+			for i := range b.Cols {
+				row[i] = b.Cols[i][r]
+			}
+			j.table[key] = append(j.table[key], row)
+			if j.budget.Bytes > 0 && bytesHeld+rowBytes > j.budget.Bytes && j.budget.Target != SpillNone {
+				spilled += rowBytes
+			} else {
+				bytesHeld += rowBytes
+			}
+		}
+		// Overflow written out as it accrues.
+		if spilled > 0 {
+			j.budget.chargeSpillWrite(c, spilled)
+			spilled = 0
+		}
+	}
+	total := bytesHeld + int(j.budget.SpilledBytes)
+	if total > 0 {
+		j.spillFrac = float64(j.budget.SpilledBytes) / float64(total)
+	}
+	// Grace hash re-reads the spilled build partitions once during probe.
+	j.budget.chargeSpillRead(c, int(j.budget.SpilledBytes))
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(c *sim.Clock) (*Batch, error) {
+	if !j.built {
+		if err := j.runBuild(c); err != nil {
+			return nil, err
+		}
+		j.built = true
+	}
+	pIdx, err := j.probe.Schema().ColIndex(j.probeCol)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, err := j.probe.Next(c)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		probeBytes := b.Len() * len(b.Cols) * 8
+		c.Advance(j.cfg.CPU.Cost(probeBytes))
+		// The spilled fraction of probe tuples must round-trip the
+		// spill medium (partitioned to match spilled build partitions).
+		if j.spillFrac > 0 {
+			n := int(float64(probeBytes) * j.spillFrac)
+			j.budget.chargeSpillWrite(c, n)
+			j.budget.chargeSpillRead(c, n)
+		}
+		out := &Batch{Cols: make([][]int64, len(b.Cols)+j.buildWidth)}
+		matched := 0
+		for r := 0; r < b.Len(); r++ {
+			rows, ok := j.table[b.Cols[pIdx][r]]
+			if !ok {
+				continue
+			}
+			for _, row := range rows {
+				for i := range b.Cols {
+					out.Cols[i] = append(out.Cols[i], b.Cols[i][r])
+				}
+				for i, v := range row {
+					out.Cols[len(b.Cols)+i] = append(out.Cols[len(b.Cols)+i], v)
+				}
+				matched++
+			}
+		}
+		if matched > 0 {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package query
+
+import (
+	"container/heap"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// TopK keeps the K rows with the largest (or smallest) values of one
+// column — the ORDER BY ... LIMIT K tail of plans like TPC-H Q3. It drains
+// its input on first Next and emits a single sorted batch.
+type TopK struct {
+	cfg       *sim.Config
+	in        Operator
+	col       string
+	k         int
+	ascending bool
+
+	done bool
+}
+
+// NewTopK builds the operator. ascending=false gives largest-first.
+func NewTopK(cfg *sim.Config, in Operator, col string, k int, ascending bool) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{cfg: cfg, in: in, col: col, k: k, ascending: ascending}
+}
+
+// Schema implements Operator.
+func (t *TopK) Schema() Schema { return t.in.Schema() }
+
+// rowHeap is a bounded heap of rows ordered by the sort column; the heap
+// root is the current WORST retained row, so better rows displace it.
+type rowHeap struct {
+	rows      [][]int64
+	sortIdx   int
+	ascending bool
+}
+
+func (h *rowHeap) Len() int { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool {
+	if h.ascending {
+		// Keep smallest K: the root is the largest retained.
+		return h.rows[i][h.sortIdx] > h.rows[j][h.sortIdx]
+	}
+	// Keep largest K: the root is the smallest retained.
+	return h.rows[i][h.sortIdx] < h.rows[j][h.sortIdx]
+}
+func (h *rowHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)    { h.rows = append(h.rows, x.([]int64)) }
+func (h *rowHeap) Pop() any      { r := h.rows[len(h.rows)-1]; h.rows = h.rows[:len(h.rows)-1]; return r }
+
+// Next implements Operator.
+func (t *TopK) Next(c *sim.Clock) (*Batch, error) {
+	if t.done {
+		return nil, nil
+	}
+	t.done = true
+	idx, err := t.in.Schema().ColIndex(t.col)
+	if err != nil {
+		return nil, err
+	}
+	h := &rowHeap{sortIdx: idx, ascending: t.ascending}
+	width := len(t.in.Schema().Cols)
+	for {
+		b, err := t.in.Next(c)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		c.Advance(t.cfg.CPU.Cost(b.Len() * width * 8))
+		for r := 0; r < b.Len(); r++ {
+			row := make([]int64, width)
+			for i := range b.Cols {
+				row[i] = b.Cols[i][r]
+			}
+			if h.Len() < t.k {
+				heap.Push(h, row)
+				continue
+			}
+			// Replace the worst retained row if this one is better.
+			worst := h.rows[0][idx]
+			better := row[idx] > worst
+			if t.ascending {
+				better = row[idx] < worst
+			}
+			if better {
+				h.rows[0] = row
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	// Drain the heap into sorted order (worst pops first).
+	n := h.Len()
+	sorted := make([][]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		sorted[i] = heap.Pop(h).([]int64)
+	}
+	out := &Batch{Cols: make([][]int64, width)}
+	for _, row := range sorted {
+		for i, v := range row {
+			out.Cols[i] = append(out.Cols[i], v)
+		}
+	}
+	return out, nil
+}

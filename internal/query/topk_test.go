@@ -1,0 +1,111 @@
+package query
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func topkInput(cfg *sim.Config, vals []int64) Operator {
+	t := NewTable("id", "score")
+	for i, v := range vals {
+		t.AppendRow(int64(i), v)
+	}
+	s, _ := NewScan(cfg, NewLocalSource(cfg, t), []string{"id", "score"}, nil, false)
+	return s
+}
+
+func TestTopKLargest(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	vals := []int64{5, 1, 9, 3, 7, 2, 8}
+	op := NewTopK(cfg, topkInput(cfg, vals), "score", 3, false)
+	out, err := Collect(sim.NewClock(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	got := out.Cols[1]
+	want := []int64{9, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top3 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKSmallestAscending(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	op := NewTopK(cfg, topkInput(cfg, []int64{5, 1, 9, 3, 7}), "score", 2, true)
+	out, _ := Collect(sim.NewClock(), op)
+	if out.Cols[1][0] != 1 || out.Cols[1][1] != 3 {
+		t.Fatalf("bottom2 = %v", out.Cols[1])
+	}
+}
+
+func TestTopKFewerRowsThanK(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	op := NewTopK(cfg, topkInput(cfg, []int64{4, 2}), "score", 10, false)
+	out, _ := Collect(sim.NewClock(), op)
+	if out.Len() != 2 || out.Cols[1][0] != 4 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestTopKUnknownColumn(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	op := NewTopK(cfg, topkInput(cfg, []int64{1}), "nope", 1, false)
+	if _, err := Collect(sim.NewClock(), op); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestTopKRowsStayAligned(t *testing.T) {
+	// The id column must travel with its score.
+	cfg := sim.DefaultConfig()
+	vals := []int64{50, 10, 90, 30}
+	op := NewTopK(cfg, topkInput(cfg, vals), "score", 2, false)
+	out, _ := Collect(sim.NewClock(), op)
+	if out.Cols[0][0] != 2 || out.Cols[1][0] != 90 {
+		t.Fatalf("row alignment broken: ids %v scores %v", out.Cols[0], out.Cols[1])
+	}
+	if out.Cols[0][1] != 0 || out.Cols[1][1] != 50 {
+		t.Fatalf("second row wrong: ids %v scores %v", out.Cols[0], out.Cols[1])
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	f := func(raw []int16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		k := int(kRaw)%len(vals) + 1
+		op := NewTopK(cfg, topkInput(cfg, vals), "score", k, false)
+		out, err := Collect(sim.NewClock(), op)
+		if err != nil {
+			return false
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		if out.Len() != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if out.Cols[1][i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

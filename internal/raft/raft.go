@@ -1,0 +1,293 @@
+// Package raft implements the leader-based replicated log that PolarFS
+// uses for durability (a ParallelRaft-flavored Raft, §2.1): a leader
+// appends entries, replicates them to followers in parallel over RDMA,
+// and commits at majority; followers persist entries before acking.
+// Leadership changes elect the longest-log survivor. The election and
+// replication rules follow Raft's safety argument (term checks, majority
+// intersection); ParallelRaft's out-of-order acknowledgement is modeled by
+// acking each append independently rather than serializing on a single
+// in-flight window.
+package raft
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Package errors.
+var (
+	ErrNoQuorum  = errors.New("raft: majority unavailable")
+	ErrNotLeader = errors.New("raft: not leader")
+	ErrNoEntry   = errors.New("raft: no such entry")
+)
+
+// Entry is one replicated log entry.
+type Entry struct {
+	Term uint64
+	Data []byte
+}
+
+// Peer is one replica of the group.
+type Peer struct {
+	ID int
+
+	mu       sync.Mutex
+	term     uint64
+	log      []Entry
+	commit   int // highest committed index (1-based; 0 = none)
+	failed   bool
+	netScale float64
+}
+
+// Term reports the peer's current term.
+func (p *Peer) Term() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.term
+}
+
+// LogLen reports the number of persisted entries.
+func (p *Peer) LogLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.log)
+}
+
+// Failed reports crash state.
+func (p *Peer) Failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// Group is a Raft group with a distinguished leader.
+type Group struct {
+	cfg   *sim.Config
+	meter *sim.Meter
+
+	mu     sync.Mutex
+	peers  []*Peer
+	leader int
+}
+
+// NewGroup creates n peers; peer 0 starts as leader in term 1. PolarFS
+// uses 3-way replication.
+func NewGroup(cfg *sim.Config, n int) *Group {
+	g := &Group{cfg: cfg, meter: sim.NewMeter(cfg.NICSlots)}
+	for i := 0; i < n; i++ {
+		g.peers = append(g.peers, &Peer{ID: i, term: 1, netScale: 1 + 0.15*float64(i)})
+	}
+	return g
+}
+
+// Leader reports the current leader's ID.
+func (g *Group) Leader() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leader
+}
+
+// Peers exposes the replicas (failure injection in tests/experiments).
+func (g *Group) Peers() []*Peer { return g.peers }
+
+// alive counts healthy peers.
+func (g *Group) alive() int {
+	n := 0
+	for _, p := range g.peers {
+		if !p.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Append replicates data and returns its (1-based) index once a majority
+// has persisted it. The caller's clock advances by the majority-th fastest
+// follower acknowledgement: replication is parallel, and each entry is
+// acked independently (ParallelRaft).
+func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
+	g.mu.Lock()
+	leader := g.peers[g.leader]
+	g.mu.Unlock()
+
+	leader.mu.Lock()
+	if leader.failed {
+		leader.mu.Unlock()
+		return 0, ErrNotLeader
+	}
+	term := leader.term
+	entry := Entry{Term: term, Data: append([]byte(nil), data...)}
+	leader.log = append(leader.log, entry)
+	index := len(leader.log)
+	leader.mu.Unlock()
+
+	// Leader persist (NVMe) + parallel follower replication.
+	persist := g.cfg.SSDWrite.Cost(len(data))
+	acks := []time.Duration{persist} // leader's own ack
+	for _, p := range g.peers {
+		if p == leader {
+			continue
+		}
+		p.mu.Lock()
+		if p.failed {
+			p.mu.Unlock()
+			continue
+		}
+		if p.term <= term {
+			p.term = term
+			// Place the entry at its exact index. Concurrent appends
+			// may arrive out of order (ParallelRaft acks entries
+			// independently); holes are extended with placeholders
+			// that the straggler overwrites when it arrives.
+			for len(p.log) < index {
+				p.log = append(p.log, Entry{})
+			}
+			p.log[index-1] = entry
+			ack := time.Duration(float64(g.cfg.RDMA.Cost(len(data)))*p.netScale) + g.cfg.SSDWrite.Cost(len(data))
+			acks = append(acks, ack)
+		} else {
+			p.mu.Unlock()
+			return 0, ErrNotLeader // stale leader
+		}
+		p.mu.Unlock()
+	}
+	majority := len(g.peers)/2 + 1
+	if len(acks) < majority {
+		return 0, ErrNoQuorum
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	g.meter.Charge(c, acks[majority-1])
+
+	// Advance commit on leader and (lazily) followers.
+	leader.mu.Lock()
+	if index > leader.commit {
+		leader.commit = index
+	}
+	leader.mu.Unlock()
+	for _, p := range g.peers {
+		p.mu.Lock()
+		if !p.failed && len(p.log) >= index && index > p.commit {
+			p.commit = index
+		}
+		p.mu.Unlock()
+	}
+	return index, nil
+}
+
+// CommitIndex reports the leader's commit index.
+func (g *Group) CommitIndex() int {
+	g.mu.Lock()
+	leader := g.peers[g.leader]
+	g.mu.Unlock()
+	leader.mu.Lock()
+	defer leader.mu.Unlock()
+	return leader.commit
+}
+
+// Entry returns the committed entry at index (1-based), charging a local
+// SSD read on the leader.
+func (g *Group) Entry(c *sim.Clock, index int) (Entry, error) {
+	g.mu.Lock()
+	leader := g.peers[g.leader]
+	g.mu.Unlock()
+	leader.mu.Lock()
+	defer leader.mu.Unlock()
+	if index < 1 || index > leader.commit {
+		return Entry{}, ErrNoEntry
+	}
+	e := leader.log[index-1]
+	c.Advance(g.cfg.SSDRead.Cost(len(e.Data)))
+	return e, nil
+}
+
+// FailPeer crashes a peer (its persisted log survives).
+func (g *Group) FailPeer(i int) {
+	p := g.peers[i]
+	p.mu.Lock()
+	p.failed = true
+	p.mu.Unlock()
+}
+
+// RestartPeer revives a peer with its persisted log.
+func (g *Group) RestartPeer(i int) {
+	p := g.peers[i]
+	p.mu.Lock()
+	p.failed = false
+	p.mu.Unlock()
+}
+
+// Elect runs a leader election among the healthy peers: the longest-log,
+// highest-term candidate wins (Raft's up-to-date rule), the term is
+// bumped, and the caller pays one voting round trip to a majority.
+func (g *Group) Elect(c *sim.Clock) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.alive() < len(g.peers)/2+1 {
+		return 0, ErrNoQuorum
+	}
+	best := -1
+	var bestLen int
+	var maxTerm uint64
+	for _, p := range g.peers {
+		p.mu.Lock()
+		if p.term > maxTerm {
+			maxTerm = p.term
+		}
+		if !p.failed && (best == -1 || len(p.log) > bestLen) {
+			best = p.ID
+			bestLen = len(p.log)
+		}
+		p.mu.Unlock()
+	}
+	// One vote round trip to the majority-th fastest peer.
+	var acks []time.Duration
+	for _, p := range g.peers {
+		if p.Failed() {
+			continue
+		}
+		p.mu.Lock()
+		acks = append(acks, time.Duration(float64(g.cfg.RDMA.Cost(64))*p.netScale))
+		p.term = maxTerm + 1
+		p.mu.Unlock()
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	g.meter.Charge(c, acks[len(g.peers)/2])
+	g.leader = best
+	// The new leader's committed prefix is authoritative; followers
+	// truncate divergent suffixes on their next append (handled in
+	// Append via length adjustment).
+	return best, nil
+}
+
+// CatchUp copies missing entries from the leader to a restarted peer,
+// charging transfer for the delta. Returns entries shipped.
+func (g *Group) CatchUp(c *sim.Clock, i int) int {
+	g.mu.Lock()
+	leader := g.peers[g.leader]
+	g.mu.Unlock()
+	p := g.peers[i]
+	leader.mu.Lock()
+	entries := append([]Entry(nil), leader.log...)
+	commit := leader.commit
+	leader.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed {
+		return 0
+	}
+	from := len(p.log)
+	bytes := 0
+	for _, e := range entries[from:] {
+		p.log = append(p.log, e)
+		bytes += len(e.Data)
+	}
+	if commit > p.commit {
+		p.commit = commit
+	}
+	c.Advance(g.cfg.RDMA.Cost(bytes))
+	return len(entries) - from
+}

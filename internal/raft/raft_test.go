@@ -1,0 +1,145 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func TestAppendCommitsAtMajority(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	c := sim.NewClock()
+	idx, err := g.Append(c, []byte("entry-1"))
+	if err != nil || idx != 1 {
+		t.Fatalf("append: %d %v", idx, err)
+	}
+	if g.CommitIndex() != 1 {
+		t.Fatalf("commit = %d", g.CommitIndex())
+	}
+	if c.Now() == 0 {
+		t.Fatal("append charged nothing")
+	}
+	e, err := g.Entry(c, 1)
+	if err != nil || !bytes.Equal(e.Data, []byte("entry-1")) {
+		t.Fatalf("entry: %q %v", e.Data, err)
+	}
+}
+
+func TestAppendSurvivesOneFollowerDown(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	g.FailPeer(2)
+	c := sim.NewClock()
+	if _, err := g.Append(c, []byte("x")); err != nil {
+		t.Fatalf("append with 2/3: %v", err)
+	}
+	g.FailPeer(1)
+	if _, err := g.Append(c, []byte("y")); err != ErrNoQuorum {
+		t.Fatalf("append with 1/3: %v", err)
+	}
+}
+
+func TestLeaderFailureElection(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	c := sim.NewClock()
+	for i := 0; i < 5; i++ {
+		g.Append(c, []byte(fmt.Sprintf("e%d", i)))
+	}
+	oldTerm := g.Peers()[1].Term()
+	g.FailPeer(0)
+	leader, err := g.Elect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader == 0 {
+		t.Fatal("dead peer elected")
+	}
+	if g.Peers()[leader].Term() <= oldTerm {
+		t.Fatal("term not bumped")
+	}
+	// The new leader has the committed entries and can keep appending.
+	if _, err := g.Append(c, []byte("post-failover")); err != nil {
+		t.Fatal(err)
+	}
+	if g.CommitIndex() != 6 {
+		t.Fatalf("commit after failover = %d", g.CommitIndex())
+	}
+}
+
+func TestElectionNeedsMajority(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	g.FailPeer(0)
+	g.FailPeer(1)
+	if _, err := g.Elect(sim.NewClock()); err != ErrNoQuorum {
+		t.Fatalf("elect with 1/3: %v", err)
+	}
+}
+
+func TestCatchUpRestartedPeer(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	c := sim.NewClock()
+	g.FailPeer(2)
+	for i := 0; i < 10; i++ {
+		g.Append(c, make([]byte, 100))
+	}
+	g.RestartPeer(2)
+	if got := g.Peers()[2].LogLen(); got != 0 {
+		t.Fatalf("restarted peer log = %d", got)
+	}
+	n := g.CatchUp(c, 2)
+	if n != 10 {
+		t.Fatalf("caught up %d entries", n)
+	}
+	if g.Peers()[2].LogLen() != 10 {
+		t.Fatalf("log len = %d", g.Peers()[2].LogLen())
+	}
+	if g.CatchUp(c, 2) != 0 {
+		t.Fatal("second catch-up shipped entries")
+	}
+}
+
+func TestConcurrentAppendsUniqueIndices(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	res := sim.RunGroup(8, func(id int, c *sim.Clock) int {
+		for i := 0; i < 50; i++ {
+			if _, err := g.Append(c, []byte{byte(id), byte(i)}); err != nil {
+				t.Errorf("append: %v", err)
+				return i
+			}
+		}
+		return 50
+	})
+	if res.TotalOps != 400 {
+		t.Fatalf("appends = %d", res.TotalOps)
+	}
+	if g.CommitIndex() != 400 {
+		t.Fatalf("commit = %d", g.CommitIndex())
+	}
+	// Followers converge to the same log as the leader.
+	lead := g.Peers()[g.Leader()]
+	for _, p := range g.Peers() {
+		if p.LogLen() != lead.LogLen() {
+			t.Fatalf("peer %d log %d vs leader %d", p.ID, p.LogLen(), lead.LogLen())
+		}
+	}
+	c := sim.NewClock()
+	for i := 1; i <= 400; i++ {
+		if _, err := g.Entry(c, i); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+	}
+}
+
+func TestEntryOutOfRange(t *testing.T) {
+	g := NewGroup(sim.DefaultConfig(), 3)
+	if _, err := g.Entry(sim.NewClock(), 1); err != ErrNoEntry {
+		t.Fatalf("err = %v", err)
+	}
+}

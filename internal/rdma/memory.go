@@ -1,0 +1,158 @@
+// Package rdma models an RDMA-capable fabric at the verbs level: registered
+// memory regions, queue pairs with one-sided READ/WRITE/CAS/FAA and
+// two-sided SEND/RECV RPC, doorbell batching, and the persistence semantics
+// of remote persistent memory (a one-sided write completes before data
+// reaches the persistence domain; a trailing read or a server-side flush is
+// required — Kalia et al., §2.3 of the tutorial).
+//
+// Time is virtual (see internal/sim) but state is real: remote memory is a
+// word-atomic byte array, so concurrent compare-and-swap contention, torn
+// multi-word reads, and retry storms behave as they do on real hardware.
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Memory is a byte-addressable region with word (8-byte) atomicity — the
+// same guarantee RDMA NICs give. Bulk reads and writes are performed word
+// by word with atomic loads/stores: individual words are never torn, but a
+// multi-word transfer can interleave with concurrent writers, exactly like
+// a one-sided READ racing a remote writer. Higher layers (RACE, Sherman)
+// must — and do — handle that with versions and checksums.
+type Memory struct {
+	words []uint64
+	size  uint64
+}
+
+// NewMemory allocates a region of the given size in bytes (rounded up to a
+// whole number of words).
+func NewMemory(size int) *Memory {
+	if size < 0 {
+		size = 0
+	}
+	nw := (size + 7) / 8
+	return &Memory{words: make([]uint64, nw), size: uint64(size)}
+}
+
+// Size reports the usable size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// ErrOutOfBounds reports an access outside the registered region.
+type ErrOutOfBounds struct {
+	Addr uint64
+	Len  int
+	Size uint64
+}
+
+func (e *ErrOutOfBounds) Error() string {
+	return fmt.Sprintf("rdma: access [%d,%d) outside region of %d bytes", e.Addr, e.Addr+uint64(e.Len), e.Size)
+}
+
+func (m *Memory) check(addr uint64, n int) error {
+	if n < 0 || addr > m.size || uint64(n) > m.size-addr {
+		return &ErrOutOfBounds{Addr: addr, Len: n, Size: m.size}
+	}
+	return nil
+}
+
+// Read copies len(p) bytes starting at addr into p.
+func (m *Memory) Read(addr uint64, p []byte) error {
+	if err := m.check(addr, len(p)); err != nil {
+		return err
+	}
+	i := 0
+	for i < len(p) {
+		w := (addr + uint64(i)) / 8
+		off := int((addr + uint64(i)) % 8)
+		v := atomic.LoadUint64(&m.words[w])
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		n := copy(p[i:], tmp[off:])
+		i += n
+	}
+	return nil
+}
+
+// Write copies p into the region starting at addr. Partial words at the
+// edges are merged with a CAS loop so concurrent writers to adjacent bytes
+// in the same word do not clobber each other.
+func (m *Memory) Write(addr uint64, p []byte) error {
+	if err := m.check(addr, len(p)); err != nil {
+		return err
+	}
+	i := 0
+	for i < len(p) {
+		pos := addr + uint64(i)
+		w := pos / 8
+		off := int(pos % 8)
+		n := 8 - off
+		if n > len(p)-i {
+			n = len(p) - i
+		}
+		if off == 0 && n == 8 {
+			atomic.StoreUint64(&m.words[w], binary.LittleEndian.Uint64(p[i:]))
+		} else {
+			for {
+				old := atomic.LoadUint64(&m.words[w])
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], old)
+				copy(tmp[off:off+n], p[i:i+n])
+				if atomic.CompareAndSwapUint64(&m.words[w], old, binary.LittleEndian.Uint64(tmp[:])) {
+					break
+				}
+			}
+		}
+		i += n
+	}
+	return nil
+}
+
+func (m *Memory) wordIndex(addr uint64) (int, error) {
+	if addr%8 != 0 {
+		return 0, fmt.Errorf("rdma: atomic op at unaligned address %d", addr)
+	}
+	if err := m.check(addr, 8); err != nil {
+		return 0, err
+	}
+	return int(addr / 8), nil
+}
+
+// Load64 atomically loads the word at addr (8-byte aligned).
+func (m *Memory) Load64(addr uint64) (uint64, error) {
+	i, err := m.wordIndex(addr)
+	if err != nil {
+		return 0, err
+	}
+	return atomic.LoadUint64(&m.words[i]), nil
+}
+
+// Store64 atomically stores v at addr (8-byte aligned).
+func (m *Memory) Store64(addr uint64, v uint64) error {
+	i, err := m.wordIndex(addr)
+	if err != nil {
+		return err
+	}
+	atomic.StoreUint64(&m.words[i], v)
+	return nil
+}
+
+// CAS64 atomically compares-and-swaps the word at addr.
+func (m *Memory) CAS64(addr uint64, old, new uint64) (bool, error) {
+	i, err := m.wordIndex(addr)
+	if err != nil {
+		return false, err
+	}
+	return atomic.CompareAndSwapUint64(&m.words[i], old, new), nil
+}
+
+// Add64 atomically adds delta to the word at addr, returning the new value.
+func (m *Memory) Add64(addr uint64, delta uint64) (uint64, error) {
+	i, err := m.wordIndex(addr)
+	if err != nil {
+		return 0, err
+	}
+	return atomic.AddUint64(&m.words[i], delta), nil
+}

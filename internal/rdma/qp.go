@@ -1,0 +1,250 @@
+package rdma
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrNodeFailed is returned by verbs issued against a crashed node.
+var ErrNodeFailed = errors.New("rdma: node failed")
+
+// Stats aggregates fabric traffic. A Stats value may be shared by many
+// queue pairs (e.g. all connections belonging to one engine) so experiments
+// can report network bytes/messages per transaction. Safe for concurrent use.
+type Stats struct {
+	Ops      atomic.Int64
+	RPCs     atomic.Int64
+	BytesOut atomic.Int64 // initiator -> target
+	BytesIn  atomic.Int64 // target -> initiator
+	CASFail  atomic.Int64
+}
+
+// TotalBytes reports BytesOut + BytesIn.
+func (s *Stats) TotalBytes() int64 { return s.BytesOut.Load() + s.BytesIn.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Ops.Store(0)
+	s.RPCs.Store(0)
+	s.BytesOut.Store(0)
+	s.BytesIn.Store(0)
+	s.CASFail.Store(0)
+}
+
+// QP is a queue pair connecting an initiator to one target node. It is safe
+// for concurrent use, but idiomatic usage gives each worker its own QP (as
+// on real hardware); the shared contention point is the target NIC meter.
+type QP struct {
+	cfg   *sim.Config
+	node  *Node
+	stats *Stats
+}
+
+// Connect creates a queue pair to the target node. stats may be nil.
+func Connect(cfg *sim.Config, node *Node, stats *Stats) *QP {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &QP{cfg: cfg, node: node, stats: stats}
+}
+
+// Node returns the target node.
+func (q *QP) Node() *Node { return q.node }
+
+// Stats returns the stats sink attached to this QP.
+func (q *QP) Stats() *Stats { return q.stats }
+
+func (q *QP) alive() error {
+	if q.node.Failed() {
+		return ErrNodeFailed
+	}
+	return nil
+}
+
+// Read issues a one-sided READ of len(p) bytes at addr. On a PM node a
+// READ also acts as the flushing read of Kalia et al.: it forces all prior
+// posted writes on this connection into the persistence domain.
+func (q *QP) Read(c *sim.Clock, addr uint64, p []byte) error {
+	if err := q.alive(); err != nil {
+		return err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
+	q.stats.Ops.Add(1)
+	q.stats.BytesIn.Add(int64(len(p)))
+	if q.node.PM {
+		q.drainPending(c)
+	}
+	return q.node.Mem.Read(addr, p)
+}
+
+// Write issues a one-sided WRITE. The verb completes when the data is in
+// the target NIC/PCIe domain: on a PM node that does NOT imply persistence
+// (the central trap of §2.3) — the posted bytes are tracked as pending
+// until a flushing Read or a server-side flush drains them.
+func (q *QP) Write(c *sim.Clock, addr uint64, p []byte) error {
+	if err := q.alive(); err != nil {
+		return err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
+	q.stats.Ops.Add(1)
+	q.stats.BytesOut.Add(int64(len(p)))
+	if err := q.node.Mem.Write(addr, p); err != nil {
+		return err
+	}
+	if q.node.PM {
+		q.node.pending.Add(int64(len(p)))
+	}
+	return nil
+}
+
+// drainPending charges the PM write-bandwidth cost of moving pending bytes
+// into the persistence domain and clears the gauge.
+func (q *QP) drainPending(c *sim.Clock) {
+	n := q.node.pending.Swap(0)
+	if n > 0 {
+		// Bandwidth term only: the base PM latency overlaps with the
+		// network round trip that triggered the drain.
+		m := sim.LatencyModel{BytesPerSec: q.cfg.PMWrite.BytesPerSec}
+		c.Advance(m.Cost(int(n)))
+	}
+}
+
+// WritePersist performs the one-sided persistent write recipe: WRITE
+// followed by a dependent zero-byte flushing READ. It costs two round trips
+// plus the PM drain — which is exactly why Kalia et al. found the
+// two-sided CallPersist faster.
+func (q *QP) WritePersist(c *sim.Clock, addr uint64, p []byte) error {
+	if err := q.Write(c, addr, p); err != nil {
+		return err
+	}
+	if err := q.alive(); err != nil {
+		return err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(0))
+	q.stats.Ops.Add(1)
+	q.drainPending(c)
+	return nil
+}
+
+// CAS issues a one-sided 8-byte compare-and-swap at addr, returning whether
+// it installed new. Failed CASes are counted — retry storms under
+// contention are a first-class effect in RACE/Sherman experiments.
+func (q *QP) CAS(c *sim.Clock, addr uint64, old, new uint64) (bool, error) {
+	if err := q.alive(); err != nil {
+		return false, err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
+	q.stats.Ops.Add(1)
+	q.stats.BytesOut.Add(8)
+	ok, err := q.node.Mem.CAS64(addr, old, new)
+	if err == nil && !ok {
+		q.stats.CASFail.Add(1)
+	}
+	return ok, err
+}
+
+// FAA issues a one-sided fetch-and-add, returning the new value.
+func (q *QP) FAA(c *sim.Clock, addr uint64, delta uint64) (uint64, error) {
+	if err := q.alive(); err != nil {
+		return 0, err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
+	q.stats.Ops.Add(1)
+	q.stats.BytesOut.Add(8)
+	return q.node.Mem.Add64(addr, delta)
+}
+
+// Load64 issues an 8-byte one-sided READ (word-atomic).
+func (q *QP) Load64(c *sim.Clock, addr uint64) (uint64, error) {
+	if err := q.alive(); err != nil {
+		return 0, err
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
+	q.stats.Ops.Add(1)
+	q.stats.BytesIn.Add(8)
+	if q.node.PM {
+		q.drainPending(c)
+	}
+	return q.node.Mem.Load64(addr)
+}
+
+// WriteOp is one element of a doorbell-batched write.
+type WriteOp struct {
+	Addr uint64
+	Data []byte
+}
+
+// WriteBatch posts several writes with one doorbell (Sherman's batching
+// optimization): a single base latency, summed transfer terms, in-order
+// application.
+func (q *QP) WriteBatch(c *sim.Clock, ops []WriteOp) error {
+	if err := q.alive(); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	total := 0
+	for _, op := range ops {
+		total += len(op.Data)
+	}
+	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(total))
+	q.stats.Ops.Add(1)
+	q.stats.BytesOut.Add(int64(total))
+	for _, op := range ops {
+		if err := q.node.Mem.Write(op.Addr, op.Data); err != nil {
+			return err
+		}
+		if q.node.PM {
+			q.node.pending.Add(int64(len(op.Data)))
+		}
+	}
+	return nil
+}
+
+// Call performs a two-sided RPC: SEND the request, execute the named
+// handler on the target CPU, receive the response. One network round trip
+// plus remote CPU dispatch.
+func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
+	if err := q.alive(); err != nil {
+		return nil, err
+	}
+	h, err := q.node.handler(name)
+	if err != nil {
+		return nil, err
+	}
+	q.stats.RPCs.Add(1)
+	q.stats.BytesOut.Add(int64(len(req)))
+	q.node.NIC.Charge(c, q.cfg.RDMARPC.Cost(len(req)))
+	q.node.CPU.Charge(c, q.cfg.RemoteCPU)
+	resp := h(c, req)
+	q.stats.BytesIn.Add(int64(len(resp)))
+	// Response transfer (bandwidth term only; the round trip base was
+	// charged with the request).
+	m := sim.LatencyModel{BytesPerSec: q.cfg.RDMARPC.BytesPerSec}
+	c.Advance(m.Cost(len(resp)))
+	return resp, nil
+}
+
+// CallPersist is the two-sided persistence path: the RPC handler on the PM
+// node writes the payload and flushes it inside the persistence domain
+// before replying. One round trip + remote CPU + PM write.
+func (q *QP) CallPersist(c *sim.Clock, addr uint64, p []byte) error {
+	if err := q.alive(); err != nil {
+		return err
+	}
+	q.stats.RPCs.Add(1)
+	q.stats.BytesOut.Add(int64(len(p)))
+	q.node.NIC.Charge(c, q.cfg.RDMARPC.Cost(len(p)))
+	q.node.CPU.Charge(c, q.cfg.RemoteCPU)
+	if err := q.node.Mem.Write(addr, p); err != nil {
+		return err
+	}
+	// Server-side flush: bandwidth-bound PM write (the base PM latency
+	// overlaps with composing the reply), no extra round trip.
+	drain := sim.LatencyModel{BytesPerSec: q.cfg.PMWrite.BytesPerSec}
+	q.node.CPU.Charge(c, drain.Cost(len(p)))
+	return nil
+}

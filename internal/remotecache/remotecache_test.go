@@ -1,0 +1,166 @@
+package remotecache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func newCache(t *testing.T, nodes int) *Cache {
+	t.Helper()
+	c, err := New(sim.DefaultConfig(), DefaultSLO(), nodes, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	c := newCache(t, 1)
+	qp := c.Connect(nil)
+	clk := sim.NewClock()
+	val := make([]byte, 64)
+	copy(val, "remote cache value")
+	if err := c.Set(clk, qp, 42, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(clk, qp, 42)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("get: %q %v", got[:18], err)
+	}
+	if _, err := c.Get(clk, qp, 43); err != ErrNotFound {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestWrongValueSizeRejected(t *testing.T) {
+	c := newCache(t, 1)
+	qp := c.Connect(nil)
+	if err := c.Set(sim.NewClock(), qp, 1, make([]byte, 3)); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+}
+
+func TestRemoteCacheBeatsSSD(t *testing.T) {
+	// E15 headline: stranded-memory cache ≪ SSD latency.
+	c := newCache(t, 1)
+	qp := c.Connect(nil)
+	clk := sim.NewClock()
+	c.Set(clk, qp, 1, make([]byte, 64))
+	g := sim.NewClock()
+	if _, err := c.Get(g, qp, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ssd := c.SSDGetCost(); !(g.Now() < ssd/10) {
+		t.Fatalf("remote get %v should be ≫10x faster than SSD %v", g.Now(), ssd)
+	}
+}
+
+func TestReclaimMigratesAndStaysCorrect(t *testing.T) {
+	c := newCache(t, 2)
+	qp := c.Connect(nil)
+	clk := sim.NewClock()
+	vals := map[uint64][]byte{}
+	for k := uint64(0); k < 100; k++ {
+		v := make([]byte, 64)
+		binary.LittleEndian.PutUint64(v, k*7)
+		vals[k] = v
+		if err := c.Set(clk, qp, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := c.Reclaim(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 100*64 {
+		t.Fatalf("moved %d bytes", moved)
+	}
+	if c.Migrations != 1 {
+		t.Fatalf("migrations = %d", c.Migrations)
+	}
+	// Old QP points at the failed node; reconnect to the new one.
+	qp2 := c.Connect(nil)
+	for k, want := range vals {
+		got, err := c.Get(clk, qp2, k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after migration: %v %v", k, got[:8], err)
+		}
+	}
+	// Second reclaim has no standby left.
+	if _, err := c.Reclaim(clk); err != ErrNoNodes {
+		t.Fatalf("reclaim without standby: %v", err)
+	}
+}
+
+func TestPointerChaseOffloadOneRoundTrip(t *testing.T) {
+	// E15/CompuCache: k-hop chase = 1 RPC offloaded vs k reads direct.
+	cfg := sim.DefaultConfig()
+	c, err := New(cfg, DefaultSLO(), 1, 1<<20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := c.Connect(nil)
+	clk := sim.NewClock()
+	// Build a chain: key i's value points at key i+1's address.
+	const hops = 8
+	keys := make([]uint64, hops+1)
+	for i := range keys {
+		keys[i] = uint64(100 + i)
+		c.Set(clk, qp, keys[i], make([]byte, 64))
+	}
+	for i := 0; i < hops; i++ {
+		v := make([]byte, 64)
+		binary.LittleEndian.PutUint64(v, c.index[keys[i+1]])
+		copy(v[8:], []byte{byte(i)})
+		c.Set(clk, qp, keys[i], v)
+	}
+	direct := sim.NewClock()
+	dv, err := c.Chase(direct, qp, keys[0], hops, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := sim.NewClock()
+	ov, err := c.Chase(off, qp, keys[0], hops, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dv, ov) {
+		t.Fatal("offloaded and direct chase disagree")
+	}
+	if !(off.Now() < direct.Now()/3) {
+		t.Fatalf("offloaded chase %v should be ≫ faster than %d direct reads (%v)", off.Now(), hops, direct.Now())
+	}
+	if direct.Now() < time.Duration(hops)*cfg.RDMA.Base {
+		t.Fatalf("direct chase cheaper than %d round trips", hops)
+	}
+}
+
+func TestSLOAdaptsModeUnderCongestion(t *testing.T) {
+	c := newCache(t, 1)
+	clk := sim.NewClock()
+	qp := c.Connect(nil)
+	c.Set(clk, qp, 1, make([]byte, 64))
+	if c.Mode() != ModeOneSided {
+		t.Fatal("should start one-sided")
+	}
+	// Saturate the node NIC so the congestion signal rises, then issue
+	// enough gets to trigger adaptation.
+	res := sim.RunGroup(32, func(id int, wc *sim.Clock) int {
+		w := c.Connect(nil)
+		for i := 0; i < 64; i++ {
+			c.Get(wc, w, 1)
+		}
+		return 64
+	})
+	if res.TotalOps != 32*64 {
+		t.Fatalf("gets = %d", res.TotalOps)
+	}
+	if c.Mode() != ModeRPC {
+		t.Fatalf("mode did not adapt under congestion (queued frac %.2f)",
+			c.activePool().Node().NIC.QueuedFraction())
+	}
+}

@@ -1,0 +1,238 @@
+// Package shuffle implements the two intermediate-shuffle architectures
+// Dremel compares (§3.2): the classic direct shuffle, where every producer
+// streams a partition to every consumer (P×C flows, quadratic fan-out and
+// per-pair connection overheads, state coupled to compute), and the
+// disaggregated shuffle layer, where producers write partitioned data to a
+// memory pool (P flows) and consumers read their partition (C flows),
+// decoupling shuffle state from compute.
+package shuffle
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrNoSpace is returned when the shuffle layer's pool is exhausted.
+var ErrNoSpace = errors.New("shuffle: pool full")
+
+// Direct is the producer-to-consumer shuffle: data flows over per-pair TCP
+// streams; each pair costs a message base latency.
+type Direct struct {
+	cfg       *sim.Config
+	consumers int
+
+	mu    sync.Mutex
+	boxes []map[int][][]uint64 // consumer -> producer -> chunks
+	// Connections counts distinct producer-consumer flows used.
+	conns map[[2]int]bool
+}
+
+// NewDirect builds a direct shuffle toward `consumers` consumers.
+func NewDirect(cfg *sim.Config, consumers int) *Direct {
+	d := &Direct{cfg: cfg, consumers: consumers, conns: make(map[[2]int]bool)}
+	d.boxes = make([]map[int][][]uint64, consumers)
+	for i := range d.boxes {
+		d.boxes[i] = make(map[int][][]uint64)
+	}
+	return d
+}
+
+// Connections reports the number of distinct flows (the quadratic term).
+func (d *Direct) Connections() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+// Produce partitions rows by hash and sends each partition to its
+// consumer: one message per consumer, each paying the TCP base latency.
+func (d *Direct) Produce(c *sim.Clock, producer int, rows []uint64) {
+	parts := make([][]uint64, d.consumers)
+	for _, r := range rows {
+		p := int(hash64(r) % uint64(d.consumers))
+		parts[p] = append(parts[p], r)
+	}
+	c.Advance(d.cfg.CPU.Cost(len(rows) * 8))
+	for ci, part := range parts {
+		// Every consumer gets a message even when empty (end-of-stream
+		// markers), which is exactly the P×C scaling problem.
+		c.Advance(d.cfg.TCP.Cost(len(part) * 8))
+		d.mu.Lock()
+		d.conns[[2]int{producer, ci}] = true
+		if len(part) > 0 {
+			d.boxes[ci][producer] = append(d.boxes[ci][producer], part)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Consume collects consumer ci's partition (already delivered; a real
+// consumer overlaps receive with produce — we charge only the merge).
+func (d *Direct) Consume(c *sim.Clock, ci int) []uint64 {
+	d.mu.Lock()
+	box := d.boxes[ci]
+	d.boxes[ci] = make(map[int][][]uint64)
+	d.mu.Unlock()
+	var out []uint64
+	for _, chunks := range box {
+		for _, ch := range chunks {
+			out = append(out, ch...)
+		}
+	}
+	c.Advance(d.cfg.CPU.Cost(len(out) * 8))
+	return out
+}
+
+// Layer is the Dremel-style disaggregated shuffle tier: a memory pool
+// holding per-partition append logs.
+type Layer struct {
+	cfg        *sim.Config
+	pool       *memnode.Pool
+	partitions int
+
+	mu     sync.Mutex
+	chunks [][]chunk // per partition
+}
+
+type chunk struct {
+	addr uint64
+	n    int
+}
+
+// NewLayer creates the shuffle layer over a memory pool and registers the
+// partition-fetch handler: consumers retrieve their whole (server-merged)
+// partition with a single request, which is what keeps consumer-side cost
+// independent of the producer count.
+func NewLayer(cfg *sim.Config, pool *memnode.Pool, partitions int) *Layer {
+	l := &Layer{cfg: cfg, pool: pool, partitions: partitions, chunks: make([][]chunk, partitions)}
+	pool.Node().Handle("shuffle.fetch", l.handleFetch)
+	return l
+}
+
+// handleFetch merges one partition's chunks node-side.
+func (l *Layer) handleFetch(c *sim.Clock, req []byte) []byte {
+	if len(req) != 4 {
+		return nil
+	}
+	pi := int(binary.LittleEndian.Uint32(req))
+	if pi < 0 || pi >= l.partitions {
+		return nil
+	}
+	l.mu.Lock()
+	chunks := append([]chunk(nil), l.chunks[pi]...)
+	l.mu.Unlock()
+	total := 0
+	for _, ch := range chunks {
+		total += ch.n
+	}
+	out := make([]byte, 4, 4+total*8)
+	binary.LittleEndian.PutUint32(out, uint32(total))
+	mem := l.pool.Node().Mem
+	for _, ch := range chunks {
+		buf := make([]byte, ch.n*8)
+		if mem.Read(ch.addr, buf) != nil {
+			return nil
+		}
+		out = append(out, buf...)
+	}
+	c.Advance(l.cfg.DRAM.Cost(total * 8))
+	return out
+}
+
+// Produce partitions rows and appends each partition's chunk to the layer
+// with a single doorbell-batched RDMA write (one flow per producer).
+func (l *Layer) Produce(c *sim.Clock, qp *rdma.QP, rows []uint64) error {
+	parts := make([][]uint64, l.partitions)
+	for _, r := range rows {
+		p := int(hash64(r) % uint64(l.partitions))
+		parts[p] = append(parts[p], r)
+	}
+	c.Advance(l.cfg.CPU.Cost(len(rows) * 8))
+	var ops []rdma.WriteOp
+	var placed []struct {
+		part int
+		ch   chunk
+	}
+	for pi, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		addr, err := l.pool.Alloc(uint64(len(part) * 8))
+		if err != nil {
+			return ErrNoSpace
+		}
+		buf := make([]byte, len(part)*8)
+		for i, v := range part {
+			binary.LittleEndian.PutUint64(buf[i*8:], v)
+		}
+		ops = append(ops, rdma.WriteOp{Addr: addr, Data: buf})
+		placed = append(placed, struct {
+			part int
+			ch   chunk
+		}{pi, chunk{addr, len(part)}})
+	}
+	if err := qp.WriteBatch(c, ops); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for _, p := range placed {
+		l.chunks[p.part] = append(l.chunks[p.part], p.ch)
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Consume fetches partition pi as one server-merged response (one flow,
+// one request, regardless of how many producers contributed).
+func (l *Layer) Consume(c *sim.Clock, qp *rdma.QP, pi int) ([]uint64, error) {
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], uint32(pi))
+	resp, err := qp.Call(c, "shuffle.fetch", req[:])
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, errors.New("shuffle: bad fetch response")
+	}
+	n := int(binary.LittleEndian.Uint32(resp))
+	if len(resp) < 4+n*8 {
+		return nil, errors.New("shuffle: truncated fetch response")
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(resp[4+i*8:])
+	}
+	c.Advance(l.cfg.CPU.Cost(len(out) * 8))
+	return out, nil
+}
+
+// Release frees a partition's chunks after consumption (shuffle state has
+// its own lifecycle, decoupled from both producers and consumers).
+func (l *Layer) Release(pi int) {
+	l.mu.Lock()
+	chunks := l.chunks[pi]
+	l.chunks[pi] = nil
+	l.mu.Unlock()
+	for _, ch := range chunks {
+		l.pool.Free(ch.addr)
+	}
+}
+
+// PartitionOf reports the partition a row routes to (consumers verify
+// routing in tests).
+func (l *Layer) PartitionOf(row uint64) int { return int(hash64(row) % uint64(l.partitions)) }
+
+// PartitionOf reports the consumer a row routes to in the direct shuffle.
+func (d *Direct) PartitionOf(row uint64) int { return int(hash64(row) % uint64(d.consumers)) }
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}

@@ -1,0 +1,154 @@
+package shuffle
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/memnode"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+func rowsFor(seed int64, n int) []uint64 {
+	r := sim.NewRand(seed, 0)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(r.Int63())
+	}
+	return out
+}
+
+func TestDirectShuffleDeliversEverything(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	d := NewDirect(cfg, 4)
+	c := sim.NewClock()
+	var all []uint64
+	for p := 0; p < 3; p++ {
+		rows := rowsFor(int64(p), 1000)
+		all = append(all, rows...)
+		d.Produce(c, p, rows)
+	}
+	var got []uint64
+	for ci := 0; ci < 4; ci++ {
+		part := d.Consume(c, ci)
+		for _, v := range part {
+			if d.PartitionOf(v) != ci {
+				t.Fatalf("row %d misrouted to consumer %d", v, ci)
+			}
+		}
+		got = append(got, part...)
+	}
+	if !sameMultiset(all, got) {
+		t.Fatalf("lost rows: sent %d got %d", len(all), len(got))
+	}
+	if d.Connections() != 12 {
+		t.Fatalf("connections = %d, want 3x4", d.Connections())
+	}
+}
+
+func TestLayerShuffleDeliversEverything(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "shuf", 64<<20)
+	l := NewLayer(cfg, pool, 4)
+	c := sim.NewClock()
+	var all []uint64
+	for p := 0; p < 3; p++ {
+		rows := rowsFor(int64(p), 1000)
+		all = append(all, rows...)
+		qp := pool.Connect(nil)
+		if err := l.Produce(c, qp, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	for ci := 0; ci < 4; ci++ {
+		qp := pool.Connect(nil)
+		part, err := l.Consume(c, qp, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range part {
+			if l.PartitionOf(v) != ci {
+				t.Fatalf("row %d misrouted to partition %d", v, ci)
+			}
+		}
+		got = append(got, part...)
+	}
+	if !sameMultiset(all, got) {
+		t.Fatalf("lost rows: sent %d got %d", len(all), len(got))
+	}
+}
+
+func TestLayerReleaseFreesPool(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	pool := memnode.New(cfg, "shuf", 1<<20)
+	l := NewLayer(cfg, pool, 2)
+	c := sim.NewClock()
+	qp := pool.Connect(nil)
+	free0 := pool.FreeBytes()
+	l.Produce(c, qp, rowsFor(1, 1000))
+	if pool.FreeBytes() >= free0 {
+		t.Fatal("produce allocated nothing")
+	}
+	l.Release(0)
+	l.Release(1)
+	if pool.FreeBytes() != free0 {
+		t.Fatalf("release leaked: %d vs %d", pool.FreeBytes(), free0)
+	}
+}
+
+func TestDisaggScalesBetterThanDirect(t *testing.T) {
+	// E16: at P=C=n, the direct shuffle pays n base latencies per
+	// producer; the layer pays one batched write. The gap must widen
+	// with n.
+	cfg := sim.DefaultConfig()
+	const rows = 2000
+	runDirect := func(n int) sim.GroupResult {
+		d := NewDirect(cfg, n)
+		return sim.RunGroup(n, func(id int, c *sim.Clock) int {
+			d.Produce(c, id, rowsFor(int64(id), rows))
+			d.Consume(c, id)
+			return 1
+		})
+	}
+	runLayer := func(n int) sim.GroupResult {
+		pool := memnode.New(cfg, "shuf", 1<<30)
+		l := NewLayer(cfg, pool, n)
+		return sim.RunGroup(n, func(id int, c *sim.Clock) int {
+			qp := pool.Connect(nil)
+			if err := l.Produce(c, qp, rowsFor(int64(id), rows)); err != nil {
+				t.Errorf("produce: %v", err)
+			}
+			if _, err := l.Consume(c, qp, id); err != nil {
+				t.Errorf("consume: %v", err)
+			}
+			return 1
+		})
+	}
+	gapAt := func(n int) float64 {
+		return float64(runDirect(n).MakeSpan) / float64(runLayer(n).MakeSpan)
+	}
+	small := gapAt(4)
+	large := gapAt(32)
+	if large <= small {
+		t.Fatalf("disagg advantage should grow with scale: %0.1fx at 4, %0.1fx at 32", small, large)
+	}
+	if large < 5 {
+		t.Fatalf("at 32x32 the layer should win by a lot, got %.1fx", large)
+	}
+}
+
+func sameMultiset(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint64(nil), a...)
+	bs := append([]uint64(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+// Package sim provides the virtual-time simulation core used by every
+// substrate in this repository.
+//
+// The model is cost accounting rather than discrete-event scheduling: each
+// logical worker (a client, a transaction thread, a query pipeline) owns a
+// Clock that accumulates the modeled latency of every device and fabric
+// operation it performs. Shared resources (NICs, links, device queues) are
+// represented by Meters whose occupancy inflates the charged latency, so
+// contention effects are visible without a global event queue. Real Go
+// concurrency is still used for shared data structures, so conflicts and
+// retries are real; only time is virtual.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a per-worker virtual clock. It is not safe for concurrent use;
+// each worker owns exactly one Clock.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the worker's current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are ignored so
+// that cost models may return zero/negative residuals safely.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// virtual time. It is used to join on events completed by other workers
+// (e.g. waiting for a quorum of acknowledgements).
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+func (c *Clock) String() string {
+	return fmt.Sprintf("sim.Clock(%v)", c.now)
+}

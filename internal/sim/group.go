@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Worker is the body of one simulated client. It receives the worker id, the
+// worker's private clock, and its private RNG seed-derived stream, and
+// returns the number of completed operations.
+type Worker func(id int, c *Clock) (ops int)
+
+// GroupResult aggregates a parallel run: throughput is computed against the
+// *slowest* worker's virtual time, matching how a real fixed-duration
+// benchmark would observe the system.
+type GroupResult struct {
+	Workers   int
+	TotalOps  int
+	MakeSpan  time.Duration // max over workers' virtual clocks
+	SumTime   time.Duration // sum over workers' virtual clocks
+	PerWorker []time.Duration
+}
+
+// Throughput reports aggregate operations per virtual second.
+func (g GroupResult) Throughput() float64 {
+	if g.MakeSpan <= 0 {
+		return 0
+	}
+	return float64(g.TotalOps) / g.MakeSpan.Seconds()
+}
+
+// MeanLatency reports the mean per-operation virtual latency across workers.
+func (g GroupResult) MeanLatency() time.Duration {
+	if g.TotalOps == 0 {
+		return 0
+	}
+	return g.SumTime / time.Duration(g.TotalOps)
+}
+
+// RunGroup executes n workers concurrently, each with a fresh clock, and
+// aggregates their virtual-time results. Real goroutines are used so that
+// shared data structures see genuine interleavings.
+func RunGroup(n int, w Worker) GroupResult {
+	res := GroupResult{Workers: n, PerWorker: make([]time.Duration, n)}
+	ops := make([]int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			c := NewClock()
+			ops[id] = w(id, c)
+			res.PerWorker[id] = c.Now()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		res.TotalOps += ops[i]
+		res.SumTime += res.PerWorker[i]
+		if res.PerWorker[i] > res.MakeSpan {
+			res.MakeSpan = res.PerWorker[i]
+		}
+	}
+	return res
+}

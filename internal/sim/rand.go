@@ -1,0 +1,60 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic RNG for worker id under the given seed.
+// Workers must never share an RNG (math/rand.Rand is not concurrency-safe),
+// so every worker derives its own from (seed, id).
+func NewRand(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + 1))
+}
+
+// Zipf draws keys in [0, n) with a Zipfian skew parameter theta (s in
+// math/rand terms). theta <= 1 is snapped just above 1 because math/rand
+// requires s > 1; theta around 1.05–1.3 covers YCSB-style skew.
+type Zipf struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// NewZipf builds a Zipf generator over [0, n).
+func NewZipf(r *rand.Rand, theta float64, n uint64) *Zipf {
+	if theta <= 1 {
+		theta = 1.0001
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Zipf{z: rand.NewZipf(r, theta, 1, n-1), n: n}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// KeyChooser selects keys either uniformly or with Zipfian skew; theta == 0
+// means uniform. It unifies workload key generation across experiments.
+type KeyChooser struct {
+	r    *rand.Rand
+	zipf *Zipf
+	n    uint64
+}
+
+// NewKeyChooser builds a chooser over [0, n) with the given skew.
+func NewKeyChooser(r *rand.Rand, theta float64, n uint64) *KeyChooser {
+	kc := &KeyChooser{r: r, n: n}
+	if theta > 0 {
+		kc.zipf = NewZipf(r, theta, n)
+	}
+	return kc
+}
+
+// Next returns the next key.
+func (k *KeyChooser) Next() uint64 {
+	if k.zipf != nil {
+		return k.zipf.Next()
+	}
+	if k.n == 0 {
+		return 0
+	}
+	return uint64(k.r.Int63n(int64(k.n)))
+}

@@ -1,0 +1,204 @@
+package storagenode
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Medium selects the durable medium backing a log store.
+type Medium int
+
+// Log store media.
+const (
+	MediumSSD Medium = iota
+	MediumPM
+)
+
+// LogStore is a dedicated durability tier for log records: the Socrates
+// XLOG service, Taurus log stores, and the PilotDB PM log layer all
+// instantiate it with different media. Appends are synchronous and
+// durable; the store retains records for replay.
+type LogStore struct {
+	cfg    *sim.Config
+	medium Medium
+	meter  *sim.Meter
+
+	mu      sync.Mutex
+	records []wal.Record
+	highLSN wal.LSN
+	failed  bool
+}
+
+// NewLogStore creates a log store on the given medium.
+func NewLogStore(cfg *sim.Config, medium Medium) *LogStore {
+	return &LogStore{cfg: cfg, medium: medium, meter: sim.NewMeter(cfg.NICSlots)}
+}
+
+// Fail crashes the store (records are durable across Restart).
+func (ls *LogStore) Fail() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.failed = true
+}
+
+// Restart brings the store back with its durable contents.
+func (ls *LogStore) Restart() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.failed = false
+}
+
+// Append durably stores the records: one network round trip plus the
+// medium's persist cost for the payload.
+func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
+	ls.mu.Lock()
+	if ls.failed {
+		ls.mu.Unlock()
+		return ErrReplicaDown
+	}
+	ls.records = append(ls.records, recs...)
+	for _, r := range recs {
+		if r.LSN > ls.highLSN {
+			ls.highLSN = r.LSN
+		}
+	}
+	ls.mu.Unlock()
+
+	n := encodedSize(recs)
+	var persist time.Duration
+	switch ls.medium {
+	case MediumPM:
+		// Compute-node-driven one-sided RDMA append + PM drain
+		// (PilotDB, §2.3).
+		persist = ls.cfg.RDMA.Cost(n) + sim.LatencyModel{BytesPerSec: ls.cfg.PMWrite.BytesPerSec}.Cost(n)
+	default:
+		persist = ls.cfg.TCP.Cost(n) + ls.cfg.SSDWrite.Cost(n)
+	}
+	ls.meter.Charge(c, persist)
+	return nil
+}
+
+// SincePage returns records for one page with LSN > after. The store
+// maintains per-page log chains (as PilotDB's PM layer does), so only the
+// relevant records cross the network.
+func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal.Record, error) {
+	ls.mu.Lock()
+	if ls.failed {
+		ls.mu.Unlock()
+		return nil, ErrReplicaDown
+	}
+	var out []wal.Record
+	for _, r := range ls.records {
+		if r.LSN > after && r.PageID == pageID && r.Type != wal.TypeCommit && r.Type != wal.TypeAbort {
+			out = append(out, r)
+		}
+	}
+	ls.mu.Unlock()
+	n := encodedSize(out)
+	var read time.Duration
+	switch ls.medium {
+	case MediumPM:
+		read = ls.cfg.RDMA.Cost(n)
+	default:
+		read = ls.cfg.TCP.Cost(n) + ls.cfg.SSDRead.Cost(n)
+	}
+	ls.meter.Charge(c, read)
+	return out, nil
+}
+
+// HighLSN reports the highest durable LSN.
+func (ls *LogStore) HighLSN() wal.LSN {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.highLSN
+}
+
+// Len reports stored record count.
+func (ls *LogStore) Len() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.records)
+}
+
+// Since returns records with LSN > after (replay on recovery), charging
+// network transfer for the shipped bytes.
+func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
+	ls.mu.Lock()
+	if ls.failed {
+		ls.mu.Unlock()
+		return nil, ErrReplicaDown
+	}
+	var out []wal.Record
+	for _, r := range ls.records {
+		if r.LSN > after {
+			out = append(out, r)
+		}
+	}
+	ls.mu.Unlock()
+	var read time.Duration
+	n := encodedSize(out)
+	switch ls.medium {
+	case MediumPM:
+		read = ls.cfg.RDMA.Cost(n)
+	default:
+		read = ls.cfg.TCP.Cost(n) + ls.cfg.SSDRead.Cost(n)
+	}
+	ls.meter.Charge(c, read)
+	return out, nil
+}
+
+// LogStoreGroup replicates a log store N ways with a write quorum — the
+// Taurus log-store arrangement (synchronously replicated logs; frugal
+// asynchronous pages).
+type LogStoreGroup struct {
+	Stores []*LogStore
+	Quorum int
+	cfg    *sim.Config
+	meter  *sim.Meter
+}
+
+// NewLogStoreGroup builds n stores with the given quorum on the medium.
+func NewLogStoreGroup(cfg *sim.Config, n, quorum int, medium Medium) *LogStoreGroup {
+	g := &LogStoreGroup{Quorum: quorum, cfg: cfg, meter: sim.NewMeter(cfg.NICSlots)}
+	for i := 0; i < n; i++ {
+		g.Stores = append(g.Stores, NewLogStore(cfg, medium))
+	}
+	return g
+}
+
+// Append replicates the records, returning at quorum: the clock advances
+// by the quorum-th fastest store's persist latency (appends fan out in
+// parallel).
+func (g *LogStoreGroup) Append(c *sim.Clock, recs []wal.Record) error {
+	var lats []time.Duration
+	for _, ls := range g.Stores {
+		probe := sim.NewClock()
+		if err := ls.Append(probe, recs); err != nil {
+			continue
+		}
+		lats = append(lats, probe.Now())
+	}
+	if len(lats) < g.Quorum {
+		return ErrNoQuorum
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	g.meter.Charge(c, lats[g.Quorum-1])
+	return nil
+}
+
+// HighLSN reports the highest LSN durable at a quorum of stores.
+func (g *LogStoreGroup) HighLSN() wal.LSN {
+	var lsns []wal.LSN
+	for _, ls := range g.Stores {
+		lsns = append(lsns, ls.HighLSN())
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	if len(lsns) < g.Quorum {
+		return 0
+	}
+	return lsns[g.Quorum-1]
+}

@@ -1,0 +1,118 @@
+package storagenode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// TestQuorumIntersectionProperty: for any pattern of replica failures,
+// whenever the volume reports WriteAvailable and an append is acked, a
+// subsequent FindHighLSN over a read quorum must see that LSN — the W+R>N
+// intersection argument Aurora's recovery rests on.
+func TestQuorumIntersectionProperty(t *testing.T) {
+	layout := testLayout(t)
+	cfg := sim.DefaultConfig()
+	f := func(failMask uint8, moreFail uint8) bool {
+		v := NewAuroraVolume(cfg, layout)
+		c := sim.NewClock()
+		lsn := wal.LSN(0)
+		appendOne := func() bool {
+			lsn++
+			rec := updateRec(lsn, uint64(lsn), layout, "q")
+			return v.AppendLog(c, []wal.Record{rec}) == nil
+		}
+		// Baseline write with everything healthy.
+		if !appendOne() {
+			return false
+		}
+		// Apply the first failure pattern.
+		for i := 0; i < 6; i++ {
+			if failMask&(1<<i) != 0 {
+				v.Replicas[i].Fail()
+			}
+		}
+		wrote := false
+		if v.WriteAvailable() {
+			if !appendOne() {
+				return false
+			}
+			wrote = true
+		}
+		// A second, independent failure wave (replicas may recover too).
+		for i := 0; i < 6; i++ {
+			if moreFail&(1<<i) != 0 {
+				v.Replicas[i].Fail()
+			} else if failMask&(1<<i) != 0 && moreFail&(1<<(i%3)) == 0 {
+				v.Replicas[i].Restart()
+			}
+		}
+		if !v.ReadAvailable() {
+			return true // nothing to check: reads legitimately unavailable
+		}
+		high, err := v.FindHighLSN(c)
+		if err != nil {
+			return false
+		}
+		want := wal.LSN(1)
+		if wrote {
+			want = 2
+		}
+		// The read quorum must reach at least the last acked write.
+		return high >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVolumeQuorumMath checks the availability thresholds exhaustively for
+// the 6/4/3 configuration.
+func TestVolumeQuorumMath(t *testing.T) {
+	layout := testLayout(t)
+	cfg := sim.DefaultConfig()
+	for failures := 0; failures <= 6; failures++ {
+		v := NewAuroraVolume(cfg, layout)
+		for i := 0; i < failures; i++ {
+			v.Replicas[i].Fail()
+		}
+		alive := 6 - failures
+		if got := v.WriteAvailable(); got != (alive >= 4) {
+			t.Errorf("failures=%d: WriteAvailable=%v", failures, got)
+		}
+		if got := v.ReadAvailable(); got != (alive >= 3) {
+			t.Errorf("failures=%d: ReadAvailable=%v", failures, got)
+		}
+	}
+}
+
+// TestGossipEventuallyConsistentProperty: for random write distributions
+// across page stores, enough gossip rounds always converge the group.
+func TestGossipEventuallyConsistentProperty(t *testing.T) {
+	layout := testLayout(t)
+	cfg := sim.DefaultConfig()
+	f := func(nWrites uint8, seed int64) bool {
+		log := wal.NewLog()
+		g := NewPageStoreGroup(cfg, 3, layout, log)
+		c := sim.NewClock()
+		r := sim.NewRand(seed, 0)
+		n := int(nWrites%50) + 1
+		for i := 0; i < n; i++ {
+			rec := updateRec(0, uint64(r.Int63n(100)), layout, "g")
+			rec.LSN = log.Append(rec)
+			if g.WriteToOne(c, []wal.Record{rec}) != nil {
+				return false
+			}
+		}
+		bg := sim.NewClock()
+		for round := 0; round < 4 && g.MaxLag() > 0; round++ {
+			g.GossipRound(bg)
+		}
+		return g.MaxLag() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package storagenode implements the disaggregated storage tier shared by
+// the storage-disaggregation engines (§2): individual storage replicas that
+// accept log records and materialize pages from them asynchronously
+// ("log-as-the-database", Aurora), quorum-replicated volumes (6 replicas /
+// 3 AZs, write quorum 4, read quorum 3), dedicated log stores (Socrates
+// XLOG, Taurus log stores), and gossip-based anti-entropy between page
+// stores (Taurus).
+package storagenode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Package errors.
+var (
+	ErrReplicaDown  = errors.New("storagenode: replica down")
+	ErrStalePage    = errors.New("storagenode: page not yet at requested LSN")
+	ErrNoQuorum     = errors.New("storagenode: quorum unavailable")
+	ErrUnknownPage  = errors.New("storagenode: unknown page")
+	ErrStaleReplica = errors.New("storagenode: replica behind requested LSN")
+)
+
+// Replica is one storage server: durable pages plus a buffer of received
+// log records that are applied ("materialized") to pages lazily, off the
+// commit path — the core Aurora storage-engine idea.
+type Replica struct {
+	cfg    *sim.Config
+	Name   string
+	AZ     int
+	layout heap.Layout
+	// netScale models the network distance from the writer (same-AZ
+	// replicas are closer than cross-AZ ones).
+	netScale float64
+	nic      *sim.Meter
+
+	mu      sync.Mutex
+	pages   map[page.ID][]byte
+	pending map[page.ID][]wal.Record
+	highLSN wal.LSN
+	// prefixLSN is the highest L such that every LSN in [1, L] has been
+	// received. Single-store feeds (Taurus page stores) leave holes, so
+	// freshness must be judged by the contiguous prefix, not the max.
+	prefixLSN wal.LSN
+	// holes holds received LSNs beyond the prefix (bounded by the number
+	// of gaps, drained as the prefix advances).
+	holes  map[wal.LSN]struct{}
+	failed bool
+	// appliedRecords counts materialized records (for tests/metrics).
+	appliedRecords int64
+}
+
+// NewReplica creates an empty replica. The layout is used to format pages
+// on demand when the first log record for a page arrives.
+func NewReplica(cfg *sim.Config, name string, az int, layout heap.Layout, netScale float64) *Replica {
+	if netScale <= 0 {
+		netScale = 1
+	}
+	return &Replica{
+		cfg:      cfg,
+		Name:     name,
+		AZ:       az,
+		layout:   layout,
+		netScale: netScale,
+		nic:      sim.NewMeter(cfg.NICSlots),
+		pages:    make(map[page.ID][]byte),
+		pending:  make(map[page.ID][]wal.Record),
+		holes:    make(map[wal.LSN]struct{}),
+	}
+}
+
+// netCost models one message of n bytes from the writer to this replica,
+// before queueing.
+func (r *Replica) netCost(n int) float64 {
+	return float64(r.cfg.TCP.Cost(n)) * r.netScale
+}
+
+// Fail crashes the replica. Pages and buffered log records are durable
+// (they were acknowledged only after reaching persistent media).
+func (r *Replica) Fail() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = true
+}
+
+// Restart brings the replica back.
+func (r *Replica) Restart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = false
+}
+
+// Failed reports crash state.
+func (r *Replica) Failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// HighLSN reports the highest LSN this replica has received.
+func (r *Replica) HighLSN() wal.LSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.highLSN
+}
+
+// AppliedRecords reports how many records have been materialized.
+func (r *Replica) AppliedRecords() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appliedRecords
+}
+
+// ingest buffers records without charging network cost (the volume layer
+// accounts transfer once per quorum write). Crashed replicas miss the
+// records — they must catch up via CatchUpFrom.
+func (r *Replica) ingest(recs []wal.Record) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed {
+		return false
+	}
+	for _, rec := range recs {
+		if rec.LSN <= r.prefixLSN {
+			continue // duplicate delivery
+		}
+		if _, dup := r.holes[rec.LSN]; dup {
+			continue
+		}
+		switch rec.Type {
+		case wal.TypeUpdate, wal.TypeInsert, wal.TypeDelete:
+			r.pending[page.ID(rec.PageID)] = append(r.pending[page.ID(rec.PageID)], rec)
+		}
+		if rec.LSN > r.highLSN {
+			r.highLSN = rec.LSN
+		}
+		r.holes[rec.LSN] = struct{}{}
+	}
+	// Advance the contiguous prefix through any filled holes.
+	for {
+		if _, ok := r.holes[r.prefixLSN+1]; !ok {
+			break
+		}
+		delete(r.holes, r.prefixLSN+1)
+		r.prefixLSN++
+	}
+	return true
+}
+
+// hasLSN reports whether the replica has received the record at lsn.
+func (r *Replica) hasLSN(lsn wal.LSN) bool {
+	if lsn <= r.prefixLSN {
+		return true
+	}
+	_, ok := r.holes[lsn]
+	return ok
+}
+
+// PrefixLSN reports the highest LSN up to which the replica has a complete,
+// gap-free log.
+func (r *Replica) PrefixLSN() wal.LSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prefixLSN
+}
+
+// Ingest delivers records directly to this replica, charging its network
+// link (single-replica tiers: Socrates page servers, Taurus page stores).
+func (r *Replica) Ingest(c *sim.Clock, recs []wal.Record) error {
+	n := encodedSize(recs)
+	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
+	if !r.ingest(recs) {
+		return ErrReplicaDown
+	}
+	return nil
+}
+
+func encodedSize(recs []wal.Record) int {
+	n := 0
+	for i := range recs {
+		n += recs[i].EncodedSize()
+	}
+	return n
+}
+
+// materializeLocked applies pending records to the page, formatting it
+// first if needed. CPU cost is charged to the caller performing the read
+// (Aurora charges this to background appliers; charging the reader is the
+// conservative choice and only matters when reads outpace materialization).
+func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
+	data, ok := r.pages[id]
+	if !ok {
+		data = r.layout.FormatPage(id).Bytes()
+		r.pages[id] = data
+	}
+	pend := r.pending[id]
+	if len(pend) == 0 {
+		return data
+	}
+	// Gossip and repair can deliver records out of order; redo must be
+	// applied in LSN order for the page-LSN idempotence check to hold.
+	sort.Slice(pend, func(i, j int) bool { return pend[i].LSN < pend[j].LSN })
+	p := page.Wrap(data)
+	for _, rec := range pend {
+		if rec.LSN <= wal.LSN(p.LSN()) {
+			continue
+		}
+		// Redo: install the after-image.
+		if err := r.layout.WriteValue(data, rec.Key, rec.After, uint64(rec.LSN)); err == nil {
+			r.appliedRecords++
+		}
+		if c != nil {
+			c.Advance(r.cfg.CPU.Cost(len(rec.After) + 16))
+		}
+	}
+	delete(r.pending, id)
+	return data
+}
+
+// ReadPage returns the page materialized to at least minLSN, charging the
+// network round trip and materialization. It fails on crashed replicas and
+// on replicas that have not received log up to minLSN (stale gossip copy).
+func (r *Replica) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed {
+		return nil, ErrReplicaDown
+	}
+	data := r.materializeLocked(c, id)
+	// Fresh enough if the log prefix covers minLSN, or the materialized
+	// page itself is already at minLSN (e.g. installed via WritePage).
+	if r.prefixLSN < minLSN && wal.LSN(page.Wrap(data).LSN()) < minLSN {
+		return nil, ErrStaleReplica
+	}
+	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(len(data)))
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WritePage installs a full page image (page-shipping path used by PolarDB
+// alongside log shipping, and by checkpointers).
+func (r *Replica) WritePage(c *sim.Clock, id page.ID, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed {
+		return ErrReplicaDown
+	}
+	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(len(data)))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.pages[id] = cp
+	if lsn := wal.LSN(page.Wrap(cp).LSN()); lsn > r.highLSN {
+		r.highLSN = lsn
+	}
+	// Page image supersedes pending records at or below its LSN.
+	pl := page.Wrap(cp).LSN()
+	var keep []wal.Record
+	for _, rec := range r.pending[id] {
+		if rec.LSN > wal.LSN(pl) {
+			keep = append(keep, rec)
+		}
+	}
+	if len(keep) > 0 {
+		r.pending[id] = keep
+	} else {
+		delete(r.pending, id)
+	}
+	return nil
+}
+
+// MaterializeAll applies every pending record (background work; charged to
+// the given clock, which tests usually make a throwaway).
+func (r *Replica) MaterializeAll(c *sim.Clock) {
+	r.mu.Lock()
+	ids := make([]page.ID, 0, len(r.pending))
+	for id := range r.pending {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	for _, id := range ids {
+		r.mu.Lock()
+		r.materializeLocked(c, id)
+		r.mu.Unlock()
+	}
+}
+
+// PendingRecords reports buffered, unmaterialized records.
+func (r *Replica) PendingRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.pending {
+		n += len(p)
+	}
+	return n
+}
+
+// CatchUpFrom copies missing state from a healthy peer (recovery after a
+// crash or a gossip round). It transfers only records the peer has beyond
+// this replica's highLSN, charging network transfer for the delta, and
+// returns the number of records transferred.
+func (r *Replica) CatchUpFrom(c *sim.Clock, peer *Replica, log *wal.Log) (int, error) {
+	r.mu.Lock()
+	if r.failed {
+		r.mu.Unlock()
+		return 0, ErrReplicaDown
+	}
+	from := r.prefixLSN
+	r.mu.Unlock()
+
+	peer.mu.Lock()
+	peerFailed := peer.failed
+	peer.mu.Unlock()
+	if peerFailed {
+		return 0, ErrReplicaDown
+	}
+	// Ship exactly the records the peer holds and the receiver lacks
+	// (the receiver may have holes above its prefix).
+	recs := log.Since(from)
+	var ship []wal.Record
+	for _, rec := range recs {
+		peer.mu.Lock()
+		has := peer.hasLSN(rec.LSN)
+		peer.mu.Unlock()
+		if !has {
+			continue
+		}
+		r.mu.Lock()
+		lacks := !r.hasLSN(rec.LSN)
+		r.mu.Unlock()
+		if lacks {
+			ship = append(ship, rec)
+		}
+	}
+	if len(ship) == 0 {
+		return 0, nil
+	}
+	n := encodedSize(ship)
+	c.Advance(sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
+	r.ingest(ship)
+	return len(ship), nil
+}
+
+// String implements fmt.Stringer.
+func (r *Replica) String() string {
+	return fmt.Sprintf("replica(%s az=%d lsn=%d)", r.Name, r.AZ, r.HighLSN())
+}

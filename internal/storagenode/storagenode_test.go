@@ -1,0 +1,362 @@
+package storagenode
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+func testLayout(t *testing.T) heap.Layout {
+	t.Helper()
+	l, err := heap.NewLayout(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func updateRec(lsn wal.LSN, key uint64, layout heap.Layout, val string) wal.Record {
+	v := make([]byte, layout.ValSize)
+	copy(v, val)
+	return wal.Record{
+		LSN:    lsn,
+		Type:   wal.TypeUpdate,
+		TxID:   1,
+		PageID: uint64(layout.PageOf(key)),
+		Key:    key,
+		After:  v,
+	}
+}
+
+func TestReplicaMaterializesLogIntoPages(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	r := NewReplica(cfg, "r0", 0, layout, 1)
+	c := sim.NewClock()
+
+	if err := r.Ingest(c, []wal.Record{updateRec(1, 5, layout, "v1"), updateRec(2, 5, layout, "v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if r.PendingRecords() != 2 {
+		t.Fatalf("pending = %d", r.PendingRecords())
+	}
+	data, err := r.ReadPage(c, layout.PageOf(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := layout.ReadValue(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v, []byte("v2")) {
+		t.Fatalf("materialized value = %q", v[:4])
+	}
+	if r.PendingRecords() != 0 {
+		t.Fatal("pending not drained by read")
+	}
+	if r.AppliedRecords() != 2 {
+		t.Fatalf("applied = %d", r.AppliedRecords())
+	}
+}
+
+func TestReplicaReadRespectsMinLSN(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	r := NewReplica(cfg, "r0", 0, layout, 1)
+	c := sim.NewClock()
+	r.Ingest(c, []wal.Record{updateRec(1, 1, layout, "x")})
+	if _, err := r.ReadPage(c, layout.PageOf(1), 10); err != ErrStaleReplica {
+		t.Fatalf("stale read err = %v", err)
+	}
+	if _, err := r.ReadPage(c, layout.PageOf(1), 1); err != nil {
+		t.Fatalf("fresh read err = %v", err)
+	}
+	if r.PrefixLSN() != 1 {
+		t.Fatalf("prefix = %d", r.PrefixLSN())
+	}
+}
+
+func TestReplicaFailRestartDurability(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	r := NewReplica(cfg, "r0", 0, layout, 1)
+	c := sim.NewClock()
+	r.Ingest(c, []wal.Record{updateRec(1, 2, layout, "durable")})
+	r.Fail()
+	if _, err := r.ReadPage(c, layout.PageOf(2), 1); err != ErrReplicaDown {
+		t.Fatalf("read on failed replica: %v", err)
+	}
+	if err := r.Ingest(c, []wal.Record{updateRec(2, 2, layout, "lost")}); err != ErrReplicaDown {
+		t.Fatalf("ingest on failed replica: %v", err)
+	}
+	r.Restart()
+	data, err := r.ReadPage(c, layout.PageOf(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := layout.ReadValue(data, 2)
+	if !bytes.HasPrefix(v, []byte("durable")) {
+		t.Fatal("durable record lost across crash")
+	}
+	if r.HighLSN() != 1 {
+		t.Fatalf("high LSN = %d (record during downtime must be missed)", r.HighLSN())
+	}
+}
+
+func TestReplicaWritePageSupersedesOlderLog(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	r := NewReplica(cfg, "r0", 0, layout, 1)
+	c := sim.NewClock()
+	r.Ingest(c, []wal.Record{updateRec(1, 3, layout, "old")})
+	// Ship a full page image at LSN 5.
+	p := layout.FormatPage(layout.PageOf(3))
+	layout.WriteValue(p.Bytes(), 3, []byte("imaged"), 5)
+	if err := r.WritePage(c, layout.PageOf(3), p.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if r.PendingRecords() != 0 {
+		t.Fatal("superseded records not dropped")
+	}
+	data, _ := r.ReadPage(c, layout.PageOf(3), 5)
+	v, _ := layout.ReadValue(data, 3)
+	if !bytes.HasPrefix(v, []byte("imaged")) {
+		t.Fatalf("value = %q", v[:8])
+	}
+}
+
+func TestReplicaCatchUpFrom(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	a := NewReplica(cfg, "a", 0, layout, 1)
+	b := NewReplica(cfg, "b", 1, layout, 1)
+	c := sim.NewClock()
+	var recs []wal.Record
+	for i := 0; i < 5; i++ {
+		rec := updateRec(0, uint64(i), layout, "v")
+		rec.LSN = log.Append(rec)
+		recs = append(recs, rec)
+	}
+	a.ingest(recs)
+	b.ingest(recs[:2])
+	n, err := b.CatchUpFrom(c, a, log)
+	if err != nil || n != 3 {
+		t.Fatalf("caught up %d records, err %v", n, err)
+	}
+	if b.HighLSN() != a.HighLSN() {
+		t.Fatalf("lsn %d vs %d", b.HighLSN(), a.HighLSN())
+	}
+	// Idempotent when already caught up.
+	n, _ = b.CatchUpFrom(c, a, log)
+	if n != 0 {
+		t.Fatalf("second catch-up shipped %d", n)
+	}
+}
+
+func TestVolumeQuorumWriteAndRead(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	v := NewAuroraVolume(cfg, layout)
+	if len(v.Replicas) != 6 || v.WriteQ != 4 || v.ReadQ != 3 {
+		t.Fatalf("volume shape: %d replicas W=%d R=%d", len(v.Replicas), v.WriteQ, v.ReadQ)
+	}
+	c := sim.NewClock()
+	if err := v.AppendLog(c, []wal.Record{updateRec(1, 9, layout, "q")}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() == 0 {
+		t.Fatal("quorum write charged nothing")
+	}
+	data, err := v.ReadPage(c, layout.PageOf(9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := layout.ReadValue(data, 9)
+	if !bytes.HasPrefix(val, []byte("q")) {
+		t.Fatal("read after quorum write lost data")
+	}
+}
+
+func TestVolumeSurvivesAZLoss(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	v := NewAuroraVolume(cfg, layout)
+	c := sim.NewClock()
+	v.AppendLog(c, []wal.Record{updateRec(1, 1, layout, "pre")})
+
+	v.FailAZ(2)
+	if !v.WriteAvailable() || !v.ReadAvailable() {
+		t.Fatal("AZ loss must not break quorums (4 of 6 alive)")
+	}
+	if err := v.AppendLog(c, []wal.Record{updateRec(2, 1, layout, "post")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// AZ + one more node: write quorum lost, read quorum survives
+	// (Aurora's AZ+1 read availability).
+	v.Replicas[0].Fail()
+	if v.WriteAvailable() {
+		t.Fatal("write quorum should be lost at 3/6")
+	}
+	if !v.ReadAvailable() {
+		t.Fatal("read quorum should survive AZ+1")
+	}
+	if err := v.AppendLog(c, nil); err != ErrNoQuorum {
+		t.Fatalf("append without quorum: %v", err)
+	}
+	lsn, err := v.FindHighLSN(c)
+	if err != nil || lsn != 2 {
+		t.Fatalf("recovery high LSN = %d, %v", lsn, err)
+	}
+}
+
+func TestVolumeRepairReplica(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	v := NewAuroraVolume(cfg, layout)
+	c := sim.NewClock()
+	v.Replicas[5].Fail()
+	for i := 0; i < 4; i++ {
+		rec := updateRec(0, uint64(i), layout, "x")
+		rec.LSN = log.Append(rec)
+		v.AppendLog(c, []wal.Record{rec})
+	}
+	if v.Replicas[5].HighLSN() != 0 {
+		t.Fatal("failed replica received writes")
+	}
+	n, err := v.RepairReplica(c, 5, log)
+	if err != nil || n != 4 {
+		t.Fatalf("repair shipped %d, err %v", n, err)
+	}
+	if v.Replicas[5].HighLSN() != 4 {
+		t.Fatalf("repaired replica LSN = %d", v.Replicas[5].HighLSN())
+	}
+}
+
+func TestVolumeQuorumLatencyCheaperThanAllReplicas(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	v := NewAuroraVolume(cfg, layout)
+	rec := []wal.Record{updateRec(1, 1, layout, "z")}
+	qc := sim.NewClock()
+	v.AppendLog(qc, rec)
+	// The slowest replica is in AZ 2 (scale 1.5): waiting for all 6
+	// would cost at least that; quorum must be cheaper.
+	slowest := v.Replicas[5].netCost(rec[0].EncodedSize())
+	if float64(qc.Now()) >= slowest {
+		t.Fatalf("quorum latency %v not cheaper than slowest replica %v", qc.Now(), slowest)
+	}
+}
+
+func TestLogStoreAppendDurableAcrossCrash(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	ls := NewLogStore(cfg, MediumSSD)
+	c := sim.NewClock()
+	layout := testLayout(t)
+	ls.Append(c, []wal.Record{updateRec(1, 1, layout, "a"), updateRec(2, 2, layout, "b")})
+	ls.Fail()
+	if err := ls.Append(c, nil); err != ErrReplicaDown {
+		t.Fatalf("append on failed store: %v", err)
+	}
+	ls.Restart()
+	recs, err := ls.Since(c, 1)
+	if err != nil || len(recs) != 1 || recs[0].LSN != 2 {
+		t.Fatalf("since(1) = %d recs, err %v", len(recs), err)
+	}
+	if ls.HighLSN() != 2 || ls.Len() != 2 {
+		t.Fatalf("high=%d len=%d", ls.HighLSN(), ls.Len())
+	}
+}
+
+func TestPMLogStoreFasterThanSSD(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	rec := []wal.Record{updateRec(1, 1, layout, "fast")}
+	pm := NewLogStore(cfg, MediumPM)
+	ssd := NewLogStore(cfg, MediumSSD)
+	pc, sc := sim.NewClock(), sim.NewClock()
+	pm.Append(pc, rec)
+	ssd.Append(sc, rec)
+	if !(pc.Now() < sc.Now()/5) {
+		t.Fatalf("PM log append (%v) should be ≫ faster than SSD (%v)", pc.Now(), sc.Now())
+	}
+}
+
+func TestLogStoreGroupQuorum(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	g := NewLogStoreGroup(cfg, 3, 2, MediumSSD)
+	c := sim.NewClock()
+	if err := g.Append(c, []wal.Record{updateRec(1, 1, layout, "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if g.HighLSN() != 1 {
+		t.Fatalf("group high LSN = %d", g.HighLSN())
+	}
+	g.Stores[0].Fail()
+	g.Stores[1].Fail()
+	if err := g.Append(c, nil); err != ErrNoQuorum {
+		t.Fatalf("append with 1/3 alive: %v", err)
+	}
+}
+
+func TestPageStoreGroupGossipConvergence(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	g := NewPageStoreGroup(cfg, 3, layout, log)
+	c := sim.NewClock()
+	// Write 9 batches round-robin: each store gets 3, so all lag.
+	for i := 0; i < 9; i++ {
+		rec := updateRec(0, uint64(i), layout, "g")
+		rec.LSN = log.Append(rec)
+		if err := g.WriteToOne(c, []wal.Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.MaxLag() == 0 {
+		t.Fatal("round-robin writes should leave stores at different LSNs")
+	}
+	bg := sim.NewClock()
+	for i := 0; i < 3 && g.MaxLag() > 0; i++ {
+		g.GossipRound(bg)
+	}
+	if g.MaxLag() != 0 {
+		t.Fatalf("gossip did not converge: lag %d", g.MaxLag())
+	}
+	// Every key readable at the head LSN from the group.
+	for i := 0; i < 9; i++ {
+		data, err := g.ReadPage(c, layout.PageOf(uint64(i)), 9)
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		v, _ := layout.ReadValue(data, uint64(i))
+		if !bytes.HasPrefix(v, []byte("g")) {
+			t.Fatalf("key %d value %q", i, v[:2])
+		}
+	}
+}
+
+func TestPageStoreGroupStaleReadRejected(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	g := NewPageStoreGroup(cfg, 3, layout, log)
+	c := sim.NewClock()
+	rec := updateRec(0, 1, layout, "v")
+	rec.LSN = log.Append(rec)
+	g.WriteToOne(c, []wal.Record{rec})
+	// Only one store has LSN 1; ask for LSN 99 — nobody can serve.
+	if _, err := g.ReadPage(c, layout.PageOf(1), 99); err != ErrStaleReplica {
+		t.Fatalf("err = %v", err)
+	}
+	// But LSN 1 is servable by the store that got the write.
+	if _, err := g.ReadPage(c, layout.PageOf(1), 1); err != nil {
+		t.Fatalf("fresh store read: %v", err)
+	}
+}

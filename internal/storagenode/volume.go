@@ -1,0 +1,164 @@
+package storagenode
+
+import (
+	"sort"
+	"time"
+
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Volume is an Aurora-style quorum-replicated storage volume: R replicas
+// spread over AZs, a write quorum W and read quorum Rq with W + Rq > R so
+// every read quorum intersects every write quorum (§2.1: 6 replicas over 3
+// AZs, W=4, Rq=3 — tolerating an entire AZ plus one more node for reads).
+type Volume struct {
+	cfg      *sim.Config
+	Replicas []*Replica
+	WriteQ   int
+	ReadQ    int
+	meter    *sim.Meter
+}
+
+// NewAuroraVolume builds the canonical 6-replica/3-AZ volume with W=4,
+// R=3. Same-AZ replicas are network-closer than cross-AZ ones.
+func NewAuroraVolume(cfg *sim.Config, layout heap.Layout) *Volume {
+	v := &Volume{cfg: cfg, WriteQ: 4, ReadQ: 3, meter: sim.NewMeter(cfg.NICSlots)}
+	for i := 0; i < 6; i++ {
+		az := i / 2
+		scale := 1.0 + 0.25*float64(az)
+		v.Replicas = append(v.Replicas, NewReplica(cfg, replicaName(i), az, layout, scale))
+	}
+	return v
+}
+
+// NewVolume builds a volume with custom replication.
+func NewVolume(cfg *sim.Config, layout heap.Layout, replicas, azs, writeQ, readQ int) *Volume {
+	v := &Volume{cfg: cfg, WriteQ: writeQ, ReadQ: readQ, meter: sim.NewMeter(cfg.NICSlots)}
+	for i := 0; i < replicas; i++ {
+		az := i % azs
+		scale := 1.0 + 0.25*float64(az)
+		v.Replicas = append(v.Replicas, NewReplica(cfg, replicaName(i), az, layout, scale))
+	}
+	return v
+}
+
+func replicaName(i int) string {
+	return "sn-" + string(rune('a'+i))
+}
+
+// Alive reports the number of healthy replicas.
+func (v *Volume) Alive() int {
+	n := 0
+	for _, r := range v.Replicas {
+		if !r.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// FailAZ crashes every replica in the given AZ.
+func (v *Volume) FailAZ(az int) {
+	for _, r := range v.Replicas {
+		if r.AZ == az {
+			r.Fail()
+		}
+	}
+}
+
+// WriteAvailable reports whether a write quorum is reachable.
+func (v *Volume) WriteAvailable() bool { return v.Alive() >= v.WriteQ }
+
+// ReadAvailable reports whether a read quorum is reachable.
+func (v *Volume) ReadAvailable() bool { return v.Alive() >= v.ReadQ }
+
+// AppendLog ships the encoded records to all alive replicas in parallel
+// and returns when the write quorum has acknowledged: the caller's clock
+// advances by the W-th fastest replica acknowledgement. Every alive
+// replica ultimately receives the records (slow acks are still in flight).
+func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
+	if !v.WriteAvailable() {
+		return ErrNoQuorum
+	}
+	n := encodedSize(recs)
+	var acks []float64
+	for _, r := range v.Replicas {
+		if r.Failed() {
+			continue
+		}
+		acks = append(acks, r.netCost(n))
+		r.ingest(recs)
+	}
+	sort.Float64s(acks)
+	quorumLat := time.Duration(acks[v.WriteQ-1])
+	v.meter.Charge(c, quorumLat)
+	return nil
+}
+
+// ReadPage reads the page at or above minLSN from the nearest replica that
+// can serve it. Under normal operation Aurora reads from a single
+// up-to-date replica (no read quorum on the fast path); quorum reads are
+// only needed during recovery, which FindHighLSN models.
+func (v *Volume) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, error) {
+	// Try replicas nearest-first.
+	order := make([]*Replica, 0, len(v.Replicas))
+	order = append(order, v.Replicas...)
+	sort.Slice(order, func(i, j int) bool { return order[i].netScale < order[j].netScale })
+	var lastErr error = ErrNoQuorum
+	for _, r := range order {
+		data, err := r.ReadPage(c, id, minLSN)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// FindHighLSN performs the read-quorum recovery protocol: poll a read
+// quorum of replicas for their high LSNs and return the highest LSN known
+// to be write-quorum durable (the maximum LSN seen, since an acked write
+// reached W replicas and Rq intersects every W). The caller's clock pays
+// one round trip to the Rq-th fastest replica.
+func (v *Volume) FindHighLSN(c *sim.Clock) (wal.LSN, error) {
+	if !v.ReadAvailable() {
+		return 0, ErrNoQuorum
+	}
+	var acks []float64
+	var high wal.LSN
+	polled := 0
+	for _, r := range v.Replicas {
+		if r.Failed() {
+			continue
+		}
+		acks = append(acks, r.netCost(16))
+		if h := r.HighLSN(); h > high {
+			high = h
+		}
+		polled++
+	}
+	sort.Float64s(acks)
+	idx := v.ReadQ - 1
+	if idx >= len(acks) {
+		idx = len(acks) - 1
+	}
+	v.meter.Charge(c, time.Duration(acks[idx]))
+	return high, nil
+}
+
+// RepairReplica restores a crashed replica and catches it up from the
+// nearest healthy peer, returning the number of records shipped.
+func (v *Volume) RepairReplica(c *sim.Clock, i int, log *wal.Log) (int, error) {
+	r := v.Replicas[i]
+	r.Restart()
+	for _, peer := range v.Replicas {
+		if peer == r || peer.Failed() {
+			continue
+		}
+		return r.CatchUpFrom(c, peer, log)
+	}
+	return 0, ErrNoQuorum
+}

@@ -1,0 +1,233 @@
+// Package txn provides transaction concurrency control: a striped local
+// lock table with shared/exclusive try-locks (two-phase locking with
+// bounded retry instead of blocking, so waiting time is charged on virtual
+// clocks), and a remote lock table living in disaggregated memory that is
+// acquired with one-sided RDMA CAS — the mechanism behind multi-writer
+// scalability on shared memory (§3.1, §4).
+package txn
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// ErrDeadlock is returned when lock acquisition exhausts its retry budget;
+// callers abort and (typically) restart the transaction.
+var ErrDeadlock = errors.New("txn: lock acquisition timed out (possible deadlock)")
+
+// ErrAborted marks a transaction aborted by conflict.
+var ErrAborted = errors.New("txn: aborted")
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+const lockStripes = 256
+
+type lockEntry struct {
+	xHolder uint64 // tx holding exclusive, 0 if none
+	sCount  int
+	sHold   map[uint64]int // shared holders (count for re-entrancy)
+}
+
+type lockShard struct {
+	mu      sync.Mutex
+	entries map[uint64]*lockEntry
+}
+
+// LockTable is a striped in-memory lock table with try-lock semantics.
+type LockTable struct {
+	shards [lockStripes]lockShard
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	lt := &LockTable{}
+	for i := range lt.shards {
+		lt.shards[i].entries = make(map[uint64]*lockEntry)
+	}
+	return lt
+}
+
+func (lt *LockTable) shard(key uint64) *lockShard {
+	return &lt.shards[((key*0x9E3779B97F4A7C15)>>56)%lockStripes]
+}
+
+// TryLock attempts to acquire key in the given mode for tx. Re-entrant:
+// a holder re-acquiring compatibly succeeds; a shared holder may upgrade
+// to exclusive when it is the only holder.
+func (lt *LockTable) TryLock(tx uint64, key uint64, m Mode) bool {
+	s := lt.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &lockEntry{sHold: make(map[uint64]int)}
+		s.entries[key] = e
+	}
+	switch m {
+	case Shared:
+		if e.xHolder != 0 && e.xHolder != tx {
+			return false
+		}
+		e.sHold[tx]++
+		e.sCount++
+		return true
+	default: // Exclusive
+		if e.xHolder == tx {
+			return true
+		}
+		if e.xHolder != 0 {
+			return false
+		}
+		// Upgrade allowed only if tx is the sole shared holder.
+		if e.sCount > 0 && (len(e.sHold) > 1 || e.sHold[tx] == 0) {
+			return false
+		}
+		e.xHolder = tx
+		return true
+	}
+}
+
+// Unlock releases tx's hold on key in the given mode.
+func (lt *LockTable) Unlock(tx uint64, key uint64, m Mode) {
+	s := lt.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	switch m {
+	case Shared:
+		if n := e.sHold[tx]; n > 0 {
+			if n == 1 {
+				delete(e.sHold, tx)
+			} else {
+				e.sHold[tx] = n - 1
+			}
+			e.sCount--
+		}
+	default:
+		if e.xHolder == tx {
+			e.xHolder = 0
+		}
+	}
+	if e.xHolder == 0 && e.sCount == 0 {
+		delete(s.entries, key)
+	}
+}
+
+// Held reports whether any transaction holds the key (test helper).
+func (lt *LockTable) Held(key uint64) bool {
+	s := lt.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// AcquireOpts controls retrying acquisition.
+type AcquireOpts struct {
+	// Retries before giving up with ErrDeadlock.
+	Retries int
+	// Backoff charged on the clock per failed attempt.
+	Backoff time.Duration
+	// AttemptCost charged per attempt (e.g. a local lock-table probe is
+	// nearly free; a remote CAS costs a network op — the remote table
+	// charges that itself).
+	AttemptCost time.Duration
+}
+
+// DefaultAcquire is a sensible local-lock retry policy.
+var DefaultAcquire = AcquireOpts{Retries: 20, Backoff: 2 * time.Microsecond}
+
+// Acquire retries TryLock with backoff charged to the clock.
+func (lt *LockTable) Acquire(c *sim.Clock, tx uint64, key uint64, m Mode, o AcquireOpts) error {
+	for i := 0; ; i++ {
+		if o.AttemptCost > 0 {
+			c.Advance(o.AttemptCost)
+		}
+		if lt.TryLock(tx, key, m) {
+			return nil
+		}
+		if i >= o.Retries {
+			return ErrDeadlock
+		}
+		c.Advance(o.Backoff * time.Duration(i+1))
+		runtime.Gosched()
+	}
+}
+
+// RemoteLockTable is a global lock table resident in disaggregated memory,
+// acquired with one-sided RDMA CAS(0 -> tx). It is what lets multiple
+// writer nodes coordinate without a central lock server.
+type RemoteLockTable struct {
+	base  uint64
+	slots uint64
+}
+
+// NewRemoteLockTable lays out `slots` 8-byte lock words at base inside the
+// memory node's region. The region must be zeroed (all locks free).
+func NewRemoteLockTable(base uint64, slots uint64) *RemoteLockTable {
+	if slots == 0 {
+		slots = 1
+	}
+	return &RemoteLockTable{base: base, slots: slots}
+}
+
+// SizeBytes reports the registered-memory footprint.
+func (r *RemoteLockTable) SizeBytes() uint64 { return r.slots * 8 }
+
+func (r *RemoteLockTable) addrOf(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return r.base + (h%r.slots)*8
+}
+
+// TryLock attempts CAS(0 -> tx) on the key's lock word over qp.
+// Key aliasing (two keys hashing to one slot) yields false conflicts,
+// exactly as in RDMA lock-table designs sized by memory budget.
+func (r *RemoteLockTable) TryLock(c *sim.Clock, qp *rdma.QP, tx uint64, key uint64) (bool, error) {
+	return qp.CAS(c, r.addrOf(key), 0, tx)
+}
+
+// Unlock releases the key's lock word if held by tx.
+func (r *RemoteLockTable) Unlock(c *sim.Clock, qp *rdma.QP, tx uint64, key uint64) error {
+	ok, err := qp.CAS(c, r.addrOf(key), tx, 0)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("txn: remote unlock of non-held lock")
+	}
+	return nil
+}
+
+// Acquire retries the remote CAS with backoff; each attempt costs a real
+// one-sided CAS on the fabric.
+func (r *RemoteLockTable) Acquire(c *sim.Clock, qp *rdma.QP, tx uint64, key uint64, o AcquireOpts) error {
+	for i := 0; ; i++ {
+		ok, err := r.TryLock(c, qp, tx, key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if i >= o.Retries {
+			return ErrDeadlock
+		}
+		c.Advance(o.Backoff * time.Duration(i+1))
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecord() Record {
+	return Record{
+		LSN:    42,
+		Type:   TypeUpdate,
+		TxID:   7,
+		PageID: 13,
+		Key:    99,
+		Before: []byte("old"),
+		After:  []byte("newer"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	buf := r.Encode(nil)
+	if len(buf) != r.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), r.EncodedSize())
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v, n=%d", err, n)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip: %+v vs %+v", got, r)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err != ErrShortRecord {
+		t.Fatalf("nil: %v", err)
+	}
+	r := sampleRecord()
+	buf := r.Encode(nil)
+	if _, _, err := Decode(buf[:len(buf)-1]); err != ErrShortRecord {
+		t.Fatalf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[8] = 200 // invalid type
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(tx, pg, key uint64, before, after []byte, typeSel uint8) bool {
+		r := Record{
+			Type:   Type(typeSel%6) + TypeUpdate,
+			TxID:   tx,
+			PageID: pg,
+			Key:    key,
+			Before: before,
+			After:  after,
+		}
+		if len(r.Before) == 0 {
+			r.Before = nil
+		}
+		if len(r.After) == 0 {
+			r.After = nil
+		}
+		got, n, err := Decode(r.Encode(nil))
+		return err == nil && n == r.EncodedSize() &&
+			got.Type == r.Type && got.TxID == r.TxID &&
+			got.PageID == r.PageID && got.Key == r.Key &&
+			bytes.Equal(got.Before, r.Before) && bytes.Equal(got.After, r.After)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAllConcatenation(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		r := sampleRecord()
+		r.LSN = LSN(i + 1)
+		buf = r.Encode(buf)
+	}
+	rs, err := DecodeAll(buf)
+	if err != nil || len(rs) != 5 {
+		t.Fatalf("decoded %d records, err %v", len(rs), err)
+	}
+	for i, r := range rs {
+		if r.LSN != LSN(i+1) {
+			t.Fatalf("record %d LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestLogAppendAssignsMonotonicLSNs(t *testing.T) {
+	l := NewLog()
+	l1 := l.Append(Record{Type: TypeUpdate})
+	l2 := l.Append(Record{Type: TypeCommit})
+	if l1 != 1 || l2 != 2 || l.Head() != 3 || l.Len() != 2 {
+		t.Fatalf("lsns %d,%d head %d len %d", l1, l2, l.Head(), l.Len())
+	}
+}
+
+func TestLogAppendConcurrentUnique(t *testing.T) {
+	l := NewLog()
+	var mu sync.Mutex
+	seen := make(map[LSN]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				lsn := l.Append(Record{Type: TypeUpdate})
+				mu.Lock()
+				if seen[lsn] {
+					t.Errorf("duplicate LSN %d", lsn)
+				}
+				seen[lsn] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 4000 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestLogSinceAndTruncate(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Type: TypeUpdate, Key: uint64(i)})
+	}
+	rs := l.Since(7)
+	if len(rs) != 3 || rs[0].LSN != 8 {
+		t.Fatalf("Since(7) = %d records, first %d", len(rs), rs[0].LSN)
+	}
+	l.TruncateBefore(9)
+	if l.Len() != 2 {
+		t.Fatalf("after truncate len = %d", l.Len())
+	}
+	if got := l.Since(0); got[0].LSN != 9 {
+		t.Fatalf("first surviving LSN = %d", got[0].LSN)
+	}
+}
+
+func TestRedoSkipsByPageLSN(t *testing.T) {
+	recs := []Record{
+		{LSN: 1, Type: TypeUpdate, PageID: 1},
+		{LSN: 2, Type: TypeCommit},
+		{LSN: 3, Type: TypeUpdate, PageID: 1},
+		{LSN: 4, Type: TypeUpdate, PageID: 2},
+	}
+	pageLSN := func(id uint64) LSN {
+		if id == 1 {
+			return 1 // page 1 already has LSN 1 applied
+		}
+		return 0
+	}
+	var applied []LSN
+	n := Redo(recs, pageLSN, func(r Record) { applied = append(applied, r.LSN) })
+	if n != 2 || !reflect.DeepEqual(applied, []LSN{3, 4}) {
+		t.Fatalf("applied %v (n=%d)", applied, n)
+	}
+}
+
+func TestRedoIdempotent(t *testing.T) {
+	// Running Redo twice with an LSN-tracking applier must apply each
+	// record exactly once.
+	recs := []Record{
+		{LSN: 1, Type: TypeUpdate, PageID: 1},
+		{LSN: 2, Type: TypeUpdate, PageID: 1},
+	}
+	pageLSNs := map[uint64]LSN{}
+	apply := func(r Record) { pageLSNs[r.PageID] = r.LSN }
+	look := func(id uint64) LSN { return pageLSNs[id] }
+	first := Redo(recs, look, apply)
+	second := Redo(recs, look, apply)
+	if first != 2 || second != 0 {
+		t.Fatalf("first=%d second=%d", first, second)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeUpdate.String() != "update" || TypeCommit.String() != "commit" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"sync"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// stubEngine is a minimal engine.Engine for generator tests.
+type stubEngine struct {
+	mu      sync.Mutex
+	data    map[uint64][]byte
+	commits int
+	stats   engine.Stats
+}
+
+func (s *stubEngine) Name() string { return "stub" }
+
+func (s *stubEngine) Stats() *engine.Stats { return &s.stats }
+
+type stubTx struct{ s *stubEngine }
+
+func (t stubTx) Read(key uint64) ([]byte, error) { return t.s.data[key], nil }
+
+func (t stubTx) Write(key uint64, val []byte) error {
+	t.s.data[key] = append([]byte(nil), val...)
+	return nil
+}
+
+func (s *stubEngine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := fn(stubTx{s}); err != nil {
+		return err
+	}
+	s.commits++
+	s.stats.Commits.Add(1)
+	return nil
+}
