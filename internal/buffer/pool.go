@@ -319,7 +319,14 @@ func (r *RemotePool) Put(c *sim.Clock, id page.ID, data []byte) error {
 		r.lru.MoveToFront(e.elem)
 		addr := e.addr
 		r.mu.Unlock()
-		return r.qp.Write(c, addr, data[:r.pageSize])
+		if err := r.qp.Write(c, addr, data[:r.pageSize]); err != nil {
+			// The frame now holds an old (or torn) version; drop the
+			// mapping so readers miss to the authoritative tier instead
+			// of reading stale bytes.
+			r.Drop(id)
+			return err
+		}
+		return nil
 	}
 	var addr uint64
 	if len(r.free) > 0 {
@@ -338,7 +345,13 @@ func (r *RemotePool) Put(c *sim.Clock, id page.ID, data []byte) error {
 	e.elem = r.lru.PushFront(id)
 	r.index[id] = e
 	r.mu.Unlock()
-	return r.qp.Write(c, addr, data[:r.pageSize])
+	if err := r.qp.Write(c, addr, data[:r.pageSize]); err != nil {
+		// The frame was never written: it still holds the evicted
+		// victim's bytes. Unmap it or reads would return the wrong page.
+		r.Drop(id)
+		return err
+	}
+	return nil
 }
 
 // Drop removes a page from the remote pool (invalidation).

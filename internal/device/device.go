@@ -48,6 +48,7 @@ func NewPM(cfg *sim.Config, channels int, legacyStack bool) *PM {
 
 // Read charges a read of n bytes.
 func (p *PM) Read(c *sim.Clock, n int) {
+	p.cfg.Inject(c, "pm.read")
 	d := p.cfg.PMRead.Cost(n)
 	if p.LegacyStack {
 		d += p.cfg.LocalPMSyscall
@@ -58,6 +59,7 @@ func (p *PM) Read(c *sim.Clock, n int) {
 // WritePersist charges a write of n bytes that reaches the persistence
 // domain before returning.
 func (p *PM) WritePersist(c *sim.Clock, n int) {
+	p.cfg.Inject(c, "pm.write")
 	d := p.cfg.PMWrite.Cost(n)
 	if p.LegacyStack {
 		d += p.cfg.LocalPMSyscall
@@ -76,13 +78,16 @@ func NewSSD(cfg *sim.Config, queueDepth int) *SSD {
 	return &SSD{cfg: cfg, meter: sim.NewMeter(queueDepth)}
 }
 
-// Read charges a block read of n bytes.
+// Read charges a block read of n bytes. Fault injection can add latency
+// spikes (the cost model has no error path; drops are a fabric property).
 func (s *SSD) Read(c *sim.Clock, n int) {
+	s.cfg.Inject(c, "ssd.read")
 	s.meter.Charge(c, s.cfg.SSDRead.Cost(n))
 }
 
 // Write charges a durable block write of n bytes.
 func (s *SSD) Write(c *sim.Clock, n int) {
+	s.cfg.Inject(c, "ssd.write")
 	s.meter.Charge(c, s.cfg.SSDWrite.Cost(n))
 }
 
@@ -106,18 +111,35 @@ func NewObjectStore(cfg *sim.Config) *ObjectStore {
 	return &ObjectStore{cfg: cfg, meter: sim.NewMeter(64), objects: make(map[string][]byte)}
 }
 
-// Put stores an immutable object and charges the upload cost.
-func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) {
+// Put stores an immutable object and charges the upload cost. Under
+// fault injection an upload can fail before any bytes land (drop) or tear
+// mid-transfer, leaving a truncated object behind — readers must treat
+// short objects as torn tails (wal.DecodePrefix-style recovery).
+func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) error {
+	f := o.cfg.Inject(c, "obj.put")
+	if f.Drop {
+		return f.FaultErr()
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	if f.Torn {
+		cp = cp[:len(cp)/2]
+	}
 	o.mu.Lock()
 	o.objects[key] = cp
 	o.mu.Unlock()
-	o.meter.Charge(c, o.cfg.ObjPut.Cost(len(data)))
+	o.meter.Charge(c, o.cfg.ObjPut.Cost(len(cp)))
+	if f.Torn {
+		return f.FaultErr()
+	}
+	return nil
 }
 
 // Get fetches an object, charging the download cost.
 func (o *ObjectStore) Get(c *sim.Clock, key string) ([]byte, error) {
+	if f := o.cfg.Inject(c, "obj.get"); f.Drop || f.Torn {
+		return nil, f.FaultErr()
+	}
 	o.mu.RLock()
 	data, ok := o.objects[key]
 	o.mu.RUnlock()
@@ -133,6 +155,9 @@ func (o *ObjectStore) Get(c *sim.Clock, key string) ([]byte, error) {
 // GetRange fetches length bytes at offset (cheap partial read, used for
 // columnar pruning where only some column chunks are fetched).
 func (o *ObjectStore) GetRange(c *sim.Clock, key string, off, length int) ([]byte, error) {
+	if f := o.cfg.Inject(c, "obj.get"); f.Drop || f.Torn {
+		return nil, f.FaultErr()
+	}
 	o.mu.RLock()
 	data, ok := o.objects[key]
 	o.mu.RUnlock()

@@ -79,6 +79,13 @@ func (e *Engine) fetcherAt(minLSN func() wal.LSN) buffer.Fetcher {
 	return func(c *sim.Clock, id page.ID) ([]byte, error) {
 		data, err := e.Volume.ReadPage(c, id, minLSN())
 		if err != nil {
+			// Injected drops can leave the same log hole on every
+			// replica (no peer can fill it); heal from the writer's
+			// authoritative log and retry once.
+			e.Volume.Heal(sim.NewClock(), e.log)
+			data, err = e.Volume.ReadPage(c, id, minLSN())
+		}
+		if err != nil {
 			return nil, err
 		}
 		e.stats.StorageOps.Add(1)

@@ -10,8 +10,8 @@ import (
 )
 
 func TestConformance(t *testing.T) {
-	enginetest.Run(t, func(t *testing.T) engine.Engine {
-		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, 1)
+	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
+		return New(cfg, enginetest.Layout(t), 64, 1)
 	})
 }
 

@@ -1,0 +1,378 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/engine/monolithic"
+	"github.com/disagglab/disagg/internal/heap"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/fault"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// seedFlag reseeds every randomized conformance workload, so a failing run
+// is replayable exactly: go test -run Conformance -seed=<n>. The seed is
+// logged by every failing subtest.
+var seedFlag = flag.Int64("seed", 20260806, "seed for randomized conformance/chaos workloads")
+
+// Seed reports the suite seed (the -seed flag).
+func Seed() int64 { return *seedFlag }
+
+// Factory builds a fresh engine on the given substrate config. The suite
+// attaches fault injectors through cfg.Fault, so engines must thread cfg
+// into every simulated component they build.
+type Factory func(t *testing.T, cfg *sim.Config) engine.Engine
+
+// durableLSNer is implemented by engines exposing their durable watermark;
+// the suite checks it never moves backwards across recovery.
+type durableLSNer interface{ DurableLSN() wal.LSN }
+
+// Conformance workload shape: each worker owns a disjoint key range, so
+// every key has exactly one writer and a per-key total order of intended
+// writes — which is what makes the invariants checkable under concurrency.
+const (
+	confWorkers   = 4
+	confOps       = 48
+	confKeysEach  = 8
+	confKeyBase   = 10_000
+	confRetries   = 25
+	confWriteFrac = 70 // percent of ops that are writes
+)
+
+// mix64 is a splitmix64-style finalizer used for value checksums.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// confVal encodes (key, worker, seq, checksum) into a layout-sized value.
+// The checksum ties all three together, so a torn or fabricated value is
+// detectable on read.
+func confVal(layout heap.Layout, key uint64, worker, seq uint64) []byte {
+	v := make([]byte, layout.ValSize)
+	binary.LittleEndian.PutUint64(v[0:], key)
+	binary.LittleEndian.PutUint64(v[8:], worker)
+	binary.LittleEndian.PutUint64(v[16:], seq)
+	binary.LittleEndian.PutUint64(v[24:], mix64(key^mix64(worker<<32^seq)))
+	return v
+}
+
+// confDecode splits a value; ok reports whether the checksum validates.
+// zero reports an all-zero (never-written) value.
+func confDecode(v []byte) (key, worker, seq uint64, zero, ok bool) {
+	if len(v) < 32 {
+		return 0, 0, 0, false, false
+	}
+	zero = true
+	for _, b := range v {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return 0, 0, 0, true, true
+	}
+	key = binary.LittleEndian.Uint64(v[0:])
+	worker = binary.LittleEndian.Uint64(v[8:])
+	seq = binary.LittleEndian.Uint64(v[16:])
+	sum := binary.LittleEndian.Uint64(v[24:])
+	return key, worker, seq, zero, sum == mix64(key^mix64(worker<<32^seq))
+}
+
+// keyState is the per-key intended history. Only the owning worker mutates
+// it during the workload; verification reads it afterwards.
+type keyState struct {
+	owner  int
+	issued uint64 // highest seq handed to a write (acked or not)
+	acked  uint64 // highest seq whose commit was acknowledged
+}
+
+// conformanceResult captures a finished workload: the per-key histories
+// plus violations observed in flight (read-your-writes, torn values).
+type conformanceResult struct {
+	layout heap.Layout
+	keys   map[uint64]*keyState
+
+	mu         sync.Mutex
+	violations []string
+	writeErrs  int
+	readErrs   int
+	commits    int
+}
+
+func (r *conformanceResult) violate(format string, args ...any) {
+	r.mu.Lock()
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+func workerKeys(id int) (lo, hi uint64) {
+	lo = confKeyBase + uint64(id)*confKeysEach
+	return lo, lo + confKeysEach
+}
+
+// checkValue applies the per-key invariants to one observed value.
+// Committed writes must be visible (seq >= acked), no value may be torn
+// (checksum), and no value may come from outside the intended history
+// (owner and seq bounds). where names the observation point in messages.
+func checkValue(res *conformanceResult, key uint64, st *keyState, v []byte, where string) {
+	k, w, seq, zero, ok := confDecode(v)
+	if !ok {
+		res.violate("%s: key %d: torn/garbled value %x", where, key, v[:32])
+		return
+	}
+	if zero {
+		if st.acked > 0 {
+			res.violate("%s: key %d: lost acked write seq %d (value is zero)", where, key, st.acked)
+		}
+		return
+	}
+	if k != key || w != uint64(st.owner) {
+		res.violate("%s: key %d: foreign value (key=%d worker=%d)", where, key, k, w)
+		return
+	}
+	if seq > st.issued {
+		res.violate("%s: key %d: fabricated seq %d (issued %d)", where, key, seq, st.issued)
+		return
+	}
+	if seq < st.acked {
+		res.violate("%s: key %d: stale seq %d < acked %d", where, key, seq, st.acked)
+	}
+}
+
+// runConformanceWorkload drives the seeded concurrent workload: each worker
+// issues a deterministic mix of writes (fresh seq per key) and reads
+// (validated in flight for read-your-writes and value integrity) over its
+// own key range. Transient errors are tolerated and counted; the per-key
+// history records which writes were acknowledged.
+func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *conformanceResult {
+	res := &conformanceResult{layout: layout, keys: make(map[uint64]*keyState)}
+	for id := 0; id < confWorkers; id++ {
+		lo, hi := workerKeys(id)
+		for k := lo; k < hi; k++ {
+			res.keys[k] = &keyState{owner: id}
+		}
+	}
+	sim.RunGroup(confWorkers, func(id int, c *sim.Clock) int {
+		rng := sim.NewRand(seed, id)
+		lo, _ := workerKeys(id)
+		done := 0
+		for op := 0; op < confOps; op++ {
+			key := lo + uint64(rng.Intn(confKeysEach))
+			st := res.keys[key]
+			if rng.Intn(100) < confWriteFrac {
+				st.issued++
+				seq := st.issued
+				v := confVal(layout, key, uint64(id), seq)
+				err := engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+					return tx.Write(key, v)
+				})
+				if err != nil {
+					// Unacknowledged commit: outcome unknown (it may
+					// still surface — like a timed-out commit in a real
+					// system). The history keeps seq as issued-only.
+					res.mu.Lock()
+					res.writeErrs++
+					res.mu.Unlock()
+					continue
+				}
+				st.acked = seq
+				res.mu.Lock()
+				res.commits++
+				res.mu.Unlock()
+				done++
+				continue
+			}
+			var got []byte
+			err := engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+				v, err := tx.Read(key)
+				if err != nil {
+					return err
+				}
+				got = v
+				return nil
+			})
+			if err != nil {
+				res.mu.Lock()
+				res.readErrs++
+				res.mu.Unlock()
+				continue
+			}
+			checkValue(res, key, st, got, "workload read")
+			done++
+		}
+		return done
+	})
+	return res
+}
+
+// verifyFinalState re-reads every workload key (with bounded retries, on a
+// healed fabric) and applies the invariants, returning the violations. It
+// also appends any violations recorded during the workload itself.
+func verifyFinalState(e engine.Engine, res *conformanceResult) []string {
+	c := sim.NewClock()
+	for key, st := range res.keys {
+		var got []byte
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			k := key
+			err = engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+				v, rerr := tx.Read(k)
+				if rerr != nil {
+					return rerr
+				}
+				got = v
+				return nil
+			})
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			res.violate("final read: key %d: %v", key, err)
+			continue
+		}
+		checkValue(res, key, st, got, "final read")
+	}
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	return append([]string(nil), res.violations...)
+}
+
+// reportViolations fails the test with every violation plus the replay
+// seed.
+func reportViolations(t *testing.T, seed int64, profile string, violations []string) {
+	t.Helper()
+	if len(violations) == 0 {
+		return
+	}
+	for _, v := range violations {
+		t.Errorf("%s", v)
+	}
+	t.Errorf("%d invariant violation(s) under profile %q — replay with: go test -run Conformance -seed=%d", len(violations), profile, seed)
+}
+
+// crashRecoverVerify drills the engine through a crash/recover cycle on a
+// healed fabric and re-verifies: acked writes must survive recovery, and
+// the durable LSN must not move backwards.
+func crashRecoverVerify(t *testing.T, e engine.Engine, res *conformanceResult, seed int64, profile string) {
+	t.Helper()
+	r, ok := e.(engine.Recoverer)
+	if !ok {
+		return
+	}
+	var before wal.LSN
+	d, hasLSN := e.(durableLSNer)
+	if hasLSN {
+		before = d.DurableLSN()
+	}
+	r.Crash()
+	if _, err := r.Recover(sim.NewClock()); err != nil {
+		t.Fatalf("recovery under profile %q failed: %v (replay: -seed=%d)", profile, err, seed)
+	}
+	if hasLSN {
+		if after := d.DurableLSN(); after < before {
+			res.violate("recovery LSN moved backwards: %d -> %d", before, after)
+		}
+	}
+	reportViolations(t, seed, profile+"+crash", verifyFinalState(e, res))
+}
+
+// RunConformance executes the full cross-engine suite: the semantic tests
+// (Run), a differential check against the monolithic baseline on the same
+// seeded workload, and the seeded chaos workloads — one per standard fault
+// profile — each followed by invariant verification on a healed fabric and
+// a crash/recovery drill.
+//
+// factory must build a FRESH engine on the provided config each call (the
+// suite attaches a fault.Injector via cfg.Fault).
+func RunConformance(t *testing.T, factory Factory) {
+	seed := Seed()
+	t.Logf("conformance seed=%d (override with -seed)", seed)
+
+	t.Run("Semantics", func(t *testing.T) {
+		Run(t, func(t *testing.T) engine.Engine { return factory(t, sim.DefaultConfig()) })
+	})
+
+	t.Run("Differential", func(t *testing.T) {
+		layout := Layout(t)
+		e := factory(t, sim.DefaultConfig())
+		base := monolithic.New(sim.DefaultConfig(), layout, 64)
+		resE := runConformanceWorkload(e, layout, seed)
+		resB := runConformanceWorkload(base, layout, seed)
+		reportViolations(t, seed, "differential/engine", verifyFinalState(e, resE))
+		reportViolations(t, seed, "differential/baseline", verifyFinalState(base, resB))
+		// Fault-free and with one writer per key, both engines must
+		// converge to byte-identical final values.
+		diffs := diffFinalStates(e, base, resE)
+		for _, d := range diffs {
+			t.Errorf("%s", d)
+		}
+		if len(diffs) > 0 {
+			t.Errorf("engine diverged from monolithic baseline on seed %d", seed)
+		}
+	})
+
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Fault/"+p.Name, func(t *testing.T) {
+			layout := Layout(t)
+			inj := fault.New(seed, p)
+			cfg := sim.DefaultConfig()
+			cfg.Fault = inj
+			e := factory(t, cfg)
+			res := runConformanceWorkload(e, layout, seed)
+			// Verification runs on a healed fabric: the invariants are
+			// about what the engine acknowledged, not about reads racing
+			// live faults.
+			inj.Heal()
+			t.Logf("profile %s: commits=%d writeErrs=%d readErrs=%d faults={drops=%d dups=%d tears=%d delays=%d}",
+				p.Name, res.commits, res.writeErrs, res.readErrs,
+				inj.Drops.Load(), inj.Dups.Load(), inj.Tears.Load(), inj.Delays.Load())
+			if res.commits == 0 {
+				t.Errorf("no transaction committed under profile %q (seed %d): fault rates starve the workload", p.Name, seed)
+			}
+			reportViolations(t, seed, p.Name, verifyFinalState(e, res))
+			crashRecoverVerify(t, e, res, seed, p.Name)
+		})
+	}
+}
+
+// diffFinalStates reads every workload key from both engines and reports
+// byte-level differences.
+func diffFinalStates(a, b engine.Engine, res *conformanceResult) []string {
+	var diffs []string
+	c := sim.NewClock()
+	read := func(e engine.Engine, key uint64) []byte {
+		var got []byte
+		engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+			v, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			got = v
+			return nil
+		})
+		return got
+	}
+	for key := range res.keys {
+		va, vb := read(a, key), read(b, key)
+		if !bytes.Equal(va, vb) {
+			_, _, seqA, _, _ := confDecode(va)
+			_, _, seqB, _, _ := confDecode(vb)
+			diffs = append(diffs, fmt.Sprintf("key %d: engine seq %d != baseline seq %d", key, seqA, seqB))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,4 @@
+package monolithic
+
+// LogLen exposes the in-memory log length to the external test package.
+func (e *Engine) LogLen() int { return e.log.Len() }

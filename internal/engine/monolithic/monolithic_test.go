@@ -1,32 +1,33 @@
-package monolithic
+package monolithic_test
 
 import (
 	"testing"
 
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/engine/enginetest"
+	"github.com/disagglab/disagg/internal/engine/monolithic"
 	"github.com/disagglab/disagg/internal/sim"
 )
 
 func TestConformance(t *testing.T) {
-	enginetest.Run(t, func(t *testing.T) engine.Engine {
-		return New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
+		return monolithic.New(cfg, enginetest.Layout(t), 64)
 	})
 }
 
 func TestCheckpointTruncatesLog(t *testing.T) {
 	cfg := sim.DefaultConfig()
-	e := New(cfg, enginetest.Layout(t), 64)
+	e := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 50; i++ {
 		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
 	}
-	before := e.log.Len()
+	before := e.LogLen()
 	if err := e.Checkpoint(c); err != nil {
 		t.Fatal(err)
 	}
-	if e.log.Len() >= before {
-		t.Fatalf("log not truncated: %d -> %d", before, e.log.Len())
+	if e.LogLen() >= before {
+		t.Fatalf("log not truncated: %d -> %d", before, e.LogLen())
 	}
 	// Data survives crash+recovery through the checkpoint.
 	e.Crash()
@@ -47,7 +48,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 
 func TestRecoveryReplaysOnlyTail(t *testing.T) {
 	cfg := sim.DefaultConfig()
-	e := New(cfg, enginetest.Layout(t), 64)
+	e := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 100; i++ {
 		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
@@ -64,7 +65,7 @@ func TestRecoveryReplaysOnlyTail(t *testing.T) {
 	}
 
 	// Without a checkpoint the same history replays everything.
-	e2 := New(cfg, enginetest.Layout(t), 64)
+	e2 := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c2 := sim.NewClock()
 	for i := uint64(0); i < 105; i++ {
 		e2.Execute(c2, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
@@ -80,7 +81,7 @@ func TestRecoveryReplaysOnlyTail(t *testing.T) {
 }
 
 func TestNoNetworkTraffic(t *testing.T) {
-	e := New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+	e := monolithic.New(sim.DefaultConfig(), enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 20; i++ {
 		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
@@ -92,6 +93,6 @@ func TestNoNetworkTraffic(t *testing.T) {
 
 func TestChaosCrashRecovery(t *testing.T) {
 	enginetest.RunChaos(t, func(t *testing.T) engine.Engine {
-		return New(sim.DefaultConfig(), enginetest.Layout(t), 64)
+		return monolithic.New(sim.DefaultConfig(), enginetest.Layout(t), 64)
 	})
 }

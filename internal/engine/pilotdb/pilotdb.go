@@ -141,10 +141,22 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 	e.mu.Unlock()
 	if len(pend) > 0 {
 		if err := e.PageStore.Ingest(c, pend); err != nil {
+			// The delivery failed (injected drop/tear): the records are
+			// still owed to the page store — re-queue them.
+			e.mu.Lock()
+			e.pending = append(pend, e.pending...)
+			e.mu.Unlock()
 			return nil, err
 		}
 	}
 	data, err := e.PageStore.ReadPage(c, id, want)
+	if err != nil {
+		// Dropped asynchronous deliveries can leave the store
+		// permanently stale; re-ship the delta from the authoritative
+		// log and retry once.
+		e.PageStore.CatchUpFromLog(sim.NewClock(), e.log)
+		data, err = e.PageStore.ReadPage(c, id, want)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -9,14 +9,14 @@ import (
 )
 
 func TestConformancePilot(t *testing.T) {
-	enginetest.Run(t, func(t *testing.T) engine.Engine {
-		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, Pilot())
+	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
+		return New(cfg, enginetest.Layout(t), 64, Pilot())
 	})
 }
 
 func TestConformanceNaive(t *testing.T) {
-	enginetest.Run(t, func(t *testing.T) engine.Engine {
-		return New(sim.DefaultConfig(), enginetest.Layout(t), 64, Naive())
+	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
+		return New(cfg, enginetest.Layout(t), 64, Naive())
 	})
 }
 

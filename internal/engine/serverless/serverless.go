@@ -133,6 +133,12 @@ func (e *Engine) getPage(c *sim.Clock, n *computeNode, id page.ID) ([]byte, erro
 	e.mu.Unlock()
 	data, err := e.Volume.ReadPage(c, id, minForPage(min, want))
 	if err != nil {
+		// Injected drops can leave the same log hole on every replica;
+		// heal from the authoritative log and retry once.
+		e.Volume.Heal(sim.NewClock(), e.log)
+		data, err = e.Volume.ReadPage(c, id, minForPage(min, want))
+	}
+	if err != nil {
 		return nil, err
 	}
 	e.stats.StorageOps.Add(1)

@@ -82,15 +82,24 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 	min := e.durableLSN
 	e.mu.Unlock()
 	var lastErr error = engine.ErrUnavailable
-	for _, ps := range e.PageServers {
-		data, err := ps.ReadPage(c, id, min)
-		if err == nil {
-			e.stats.StorageOps.Add(1)
-			e.stats.NetMsgs.Add(1)
-			e.stats.NetBytes.Add(int64(len(data)))
-			return data, nil
+	for attempt := 0; attempt < 2; attempt++ {
+		for _, ps := range e.PageServers {
+			data, err := ps.ReadPage(c, id, min)
+			if err == nil {
+				e.stats.StorageOps.Add(1)
+				e.stats.NetMsgs.Add(1)
+				e.stats.NetBytes.Add(int64(len(data)))
+				return data, nil
+			}
+			lastErr = err
 		}
-		lastErr = err
+		// Dropped background dissemination can leave every page server
+		// with the same log hole; re-ship the delta from the
+		// authoritative log (what XLOG replay does) and retry once.
+		bg := sim.NewClock()
+		for _, ps := range e.PageServers {
+			ps.CatchUpFromLog(bg, e.log)
+		}
 	}
 	return nil, lastErr
 }

@@ -1,7 +1,6 @@
 package bptree
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/disagglab/disagg/internal/memnode"
@@ -76,7 +75,9 @@ func TestSplitsRandomOrder(t *testing.T) {
 	tr := newTree(t, Sherman())
 	cl := tr.Attach(1, nil)
 	clk := sim.NewClock()
-	r := rand.New(rand.NewSource(3))
+	const seed = 3
+	t.Logf("seed=%d", seed)
+	r := sim.NewRand(seed, 0)
 	keys := r.Perm(3000)
 	for _, k := range keys {
 		if err := cl.Put(clk, uint64(k)+1, uint64(k)*7); err != nil {

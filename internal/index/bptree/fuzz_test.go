@@ -1,0 +1,59 @@
+package bptree
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// FuzzBPTree interprets the fuzz input as an op script (3 bytes per op:
+// opcode, key, value) and cross-checks the tree against a map model after
+// every step. Small key ranges force splits, SMOs and overwrites.
+func FuzzBPTree(f *testing.F) {
+	f.Add([]byte{0, 1, 10, 0, 2, 20, 1, 1, 0})
+	f.Add([]byte{0, 200, 1, 0, 100, 2, 0, 50, 3, 1, 200, 0, 1, 99, 0})
+	seed := make([]byte, 0, 3*64)
+	for i := 0; i < 64; i++ {
+		seed = append(seed, byte(i%2), byte(i*7), byte(i*13))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*2048 {
+			data = data[:3*2048]
+		}
+		for _, opt := range []Options{Sherman(), Naive()} {
+			tr := newTree(t, opt)
+			cl := tr.Attach(1, nil)
+			clk := sim.NewClock()
+			model := make(map[uint64]uint64)
+			for i := 0; i+2 < len(data); i += 3 {
+				op, kb, vb := data[i], data[i+1], data[i+2]
+				key := uint64(kb) + 1 // keys start at 1
+				switch op % 2 {
+				case 0:
+					val := uint64(vb) + 1
+					if err := cl.Put(clk, key, val); err != nil {
+						t.Fatalf("opt %+v op %d put(%d,%d): %v", opt, i/3, key, val, err)
+					}
+					model[key] = val
+				case 1:
+					got, ok, err := cl.Get(clk, key)
+					if err != nil {
+						t.Fatalf("opt %+v op %d get(%d): %v", opt, i/3, key, err)
+					}
+					want, wantOK := model[key]
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("opt %+v op %d key %d: tree (%d,%v) model (%d,%v)",
+							opt, i/3, key, got, ok, want, wantOK)
+					}
+				}
+			}
+			for k, want := range model {
+				got, ok, err := cl.Get(clk, k)
+				if err != nil || !ok || got != want {
+					t.Fatalf("opt %+v final key %d: (%d,%v,%v) want %d", opt, k, got, ok, err, want)
+				}
+			}
+		}
+	})
+}

@@ -17,7 +17,9 @@ func TestModelEquivalence(t *testing.T) {
 		cl := tr.Attach(1, nil)
 		clk := sim.NewClock()
 		model := make(map[uint64]uint64)
-		r := sim.NewRand(1234, 0)
+		const seed = 1234
+		t.Logf("seed=%d", seed)
+		r := sim.NewRand(seed, 0)
 		for step := 0; step < 4000; step++ {
 			k := uint64(r.Int63n(600)) + 1
 			if r.Intn(2) == 0 {

@@ -1,0 +1,63 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// FuzzLSM interprets the fuzz input as an op script (3 bytes per op:
+// opcode, key, value) against a tiny-memtable configuration so flushes and
+// compactions trigger constantly, cross-checking against a map model.
+func FuzzLSM(f *testing.F) {
+	f.Add([]byte{0, 1, 10, 0, 2, 20, 2, 1, 0, 1, 1, 0})
+	f.Add([]byte{0, 9, 1, 0, 9, 2, 1, 9, 0, 2, 9, 0, 1, 9, 0})
+	seed := make([]byte, 0, 3*80)
+	for i := 0; i < 80; i++ {
+		seed = append(seed, byte(i%3), byte(i*5), byte(i*11))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*2048 {
+			data = data[:3*2048]
+		}
+		opt := Options{Shards: 2, MemtableEntries: 8, CompactAt: 2, RemoteCompaction: true}
+		tr := newTree(t, opt)
+		cl := tr.Attach(nil)
+		clk := sim.NewClock()
+		model := make(map[uint64]uint64)
+		for i := 0; i+2 < len(data); i += 3 {
+			op, kb, vb := data[i], data[i+1], data[i+2]
+			key := uint64(kb)
+			switch op % 3 {
+			case 0:
+				val := uint64(vb) + 1
+				if err := cl.Put(clk, key, val); err != nil {
+					t.Fatalf("op %d put(%d,%d): %v", i/3, key, val, err)
+				}
+				model[key] = val
+			case 1:
+				got, ok, err := cl.Get(clk, key)
+				if err != nil {
+					t.Fatalf("op %d get(%d): %v", i/3, key, err)
+				}
+				want, wantOK := model[key]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("op %d key %d: lsm (%d,%v) model (%d,%v)",
+						i/3, key, got, ok, want, wantOK)
+				}
+			case 2:
+				if err := cl.Delete(clk, key); err != nil {
+					t.Fatalf("op %d delete(%d): %v", i/3, key, err)
+				}
+				delete(model, key)
+			}
+		}
+		for k, want := range model {
+			got, ok, err := cl.Get(clk, k)
+			if err != nil || !ok || got != want {
+				t.Fatalf("final key %d: (%d,%v,%v) want %d", k, got, ok, err, want)
+			}
+		}
+	})
+}

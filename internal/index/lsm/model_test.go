@@ -22,7 +22,9 @@ func TestModelEquivalence(t *testing.T) {
 		cl := tr.Attach(nil)
 		clk := sim.NewClock()
 		model := make(map[uint64]uint64)
-		r := sim.NewRand(555, 0)
+		const seed = 555
+		t.Logf("seed=%d", seed)
+		r := sim.NewRand(seed, 0)
 		for step := 0; step < 5000; step++ {
 			k := uint64(r.Int63n(300))
 			switch r.Intn(4) {

@@ -1,0 +1,75 @@
+package race
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// FuzzRACE interprets the fuzz input as an op script (3 bytes per op:
+// opcode, key, value-shape) against a small directory so extendible-hash
+// splits trigger, cross-checking against a map model. Values are derived
+// deterministically from (key, shape) so lost or swapped slots surface as
+// byte mismatches.
+func FuzzRACE(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 0, 2, 9, 1, 1, 0, 2, 2, 0})
+	seed := make([]byte, 0, 3*100)
+	for i := 0; i < 100; i++ {
+		seed = append(seed, byte(i%3), byte(i*3), byte(i*17))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*2048 {
+			data = data[:3*2048]
+		}
+		h := newHash(t, 1, 4)
+		cl := h.Attach(1, nil)
+		clk := sim.NewClock()
+		model := make(map[uint64][]byte)
+		mkVal := func(key uint64, shape byte) []byte {
+			v := make([]byte, 4+int(shape%24))
+			for j := range v {
+				v[j] = byte(key) ^ shape ^ byte(j)
+			}
+			return v
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, kb, vb := data[i], data[i+1], data[i+2]
+			key := uint64(kb)
+			switch op % 3 {
+			case 0:
+				v := mkVal(key, vb)
+				if err := cl.Put(clk, key, v); err != nil {
+					t.Fatalf("op %d put(%d): %v", i/3, key, err)
+				}
+				model[key] = v
+			case 1:
+				got, ok, err := cl.Get(clk, key)
+				if err != nil {
+					t.Fatalf("op %d get(%d): %v", i/3, key, err)
+				}
+				want, wantOK := model[key]
+				if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("op %d key %d: hash (%x,%v) model (%x,%v)",
+						i/3, key, got, ok, want, wantOK)
+				}
+			case 2:
+				ok, err := cl.Delete(clk, key)
+				if err != nil {
+					t.Fatalf("op %d delete(%d): %v", i/3, key, err)
+				}
+				if _, want := model[key]; ok != want {
+					t.Fatalf("op %d delete(%d) = %v, model %v", i/3, key, ok, want)
+				}
+				delete(model, key)
+			}
+		}
+		for k, want := range model {
+			got, ok, err := cl.Get(clk, k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("final key %d: (%x,%v,%v) want %x", k, got, ok, err, want)
+			}
+		}
+	})
+}

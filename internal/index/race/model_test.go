@@ -16,7 +16,9 @@ func TestModelEquivalence(t *testing.T) {
 		cl := h.Attach(1, nil)
 		clk := sim.NewClock()
 		model := make(map[uint64][]byte)
-		r := sim.NewRand(777, 0)
+		const seed = 777
+		t.Logf("seed=%d", seed)
+		r := sim.NewRand(seed, 0)
 		val := func() []byte {
 			v := make([]byte, 8+r.Intn(24))
 			r.Read(v)

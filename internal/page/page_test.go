@@ -2,9 +2,10 @@ package page
 
 import (
 	"bytes"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/disagglab/disagg/internal/sim"
 )
 
 func TestInsertAndCell(t *testing.T) {
@@ -205,7 +206,9 @@ func TestPropertyInsertedCellsReadable(t *testing.T) {
 func TestPropertyRandomOpsStayValid(t *testing.T) {
 	// Random interleavings of insert/update/delete/compact keep the page
 	// structurally valid and the model map consistent.
-	r := rand.New(rand.NewSource(11))
+	const seed = 11
+	t.Logf("seed=%d", seed)
+	r := sim.NewRand(seed, 0)
 	p := New(1024)
 	model := make(map[int][]byte)
 	for step := 0; step < 5000; step++ {

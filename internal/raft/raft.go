@@ -108,8 +108,15 @@ func (g *Group) alive() int {
 // Append replicates data and returns its (1-based) index once a majority
 // has persisted it. The caller's clock advances by the majority-th fastest
 // follower acknowledgement: replication is parallel, and each entry is
-// acked independently (ParallelRaft).
+// acked independently (ParallelRaft). Fault injection can drop the append
+// before any peer persists it, or tear it: the leader persists the entry
+// but the caller sees an error before replication completes — an
+// unacknowledged write a later quorum commit may still surface.
 func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
+	f := g.cfg.Inject(c, "raft.append")
+	if f.Drop {
+		return 0, f.FaultErr()
+	}
 	g.mu.Lock()
 	leader := g.peers[g.leader]
 	g.mu.Unlock()
@@ -124,6 +131,14 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 	leader.log = append(leader.log, entry)
 	index := len(leader.log)
 	leader.mu.Unlock()
+
+	if f.Torn {
+		// Crash-point mid-append: the leader persisted the entry but the
+		// caller never learns the index. A later successful append at a
+		// higher index commits this one too (Raft prefix commit), so the
+		// write may still surface — exactly the ambiguous-outcome case.
+		return 0, f.FaultErr()
+	}
 
 	// Leader persist (NVMe) + parallel follower replication.
 	persist := g.cfg.SSDWrite.Cost(len(data))

@@ -70,6 +70,9 @@ func (q *QP) Read(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
 	}
+	if o := q.cfg.Inject(c, "rdma.read"); o.Drop || o.Torn {
+		return o.FaultErr()
+	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
 	q.stats.Ops.Add(1)
 	q.stats.BytesIn.Add(int64(len(p)))
@@ -87,11 +90,22 @@ func (q *QP) Write(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
 	}
+	o := q.cfg.Inject(c, "rdma.write")
+	if o.Drop || o.Torn {
+		return o.FaultErr()
+	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(int64(len(p)))
 	if err := q.node.Mem.Write(addr, p); err != nil {
 		return err
+	}
+	if o.Duplicate {
+		// Duplicated delivery: one-sided writes are idempotent, so the
+		// repeat lands harmlessly on the same bytes.
+		if err := q.node.Mem.Write(addr, p); err != nil {
+			return err
+		}
 	}
 	if q.node.PM {
 		q.node.pending.Add(int64(len(p)))
@@ -135,6 +149,9 @@ func (q *QP) CAS(c *sim.Clock, addr uint64, old, new uint64) (bool, error) {
 	if err := q.alive(); err != nil {
 		return false, err
 	}
+	if o := q.cfg.Inject(c, "rdma.cas"); o.Drop || o.Torn {
+		return false, o.FaultErr()
+	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(8)
@@ -150,6 +167,9 @@ func (q *QP) FAA(c *sim.Clock, addr uint64, delta uint64) (uint64, error) {
 	if err := q.alive(); err != nil {
 		return 0, err
 	}
+	if o := q.cfg.Inject(c, "rdma.faa"); o.Drop || o.Torn {
+		return 0, o.FaultErr()
+	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(8)
@@ -160,6 +180,9 @@ func (q *QP) FAA(c *sim.Clock, addr uint64, delta uint64) (uint64, error) {
 func (q *QP) Load64(c *sim.Clock, addr uint64) (uint64, error) {
 	if err := q.alive(); err != nil {
 		return 0, err
+	}
+	if o := q.cfg.Inject(c, "rdma.read"); o.Drop || o.Torn {
+		return 0, o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
 	q.stats.Ops.Add(1)
@@ -186,6 +209,9 @@ func (q *QP) WriteBatch(c *sim.Clock, ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	if o := q.cfg.Inject(c, "rdma.write"); o.Drop || o.Torn {
+		return o.FaultErr()
+	}
 	total := 0
 	for _, op := range ops {
 		total += len(op.Data)
@@ -211,6 +237,9 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 	if err := q.alive(); err != nil {
 		return nil, err
 	}
+	if o := q.cfg.Inject(c, "rdma.call"); o.Drop || o.Torn {
+		return nil, o.FaultErr()
+	}
 	h, err := q.node.handler(name)
 	if err != nil {
 		return nil, err
@@ -234,6 +263,9 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 func (q *QP) CallPersist(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
+	}
+	if o := q.cfg.Inject(c, "rdma.call"); o.Drop || o.Torn {
+		return o.FaultErr()
 	}
 	q.stats.RPCs.Add(1)
 	q.stats.BytesOut.Add(int64(len(p)))

@@ -47,6 +47,11 @@ type Config struct {
 	// for nodes (service parallelism of a NIC / a node's cores).
 	NICSlots int
 	CPUSlots int
+	// Fault, when non-nil, is consulted by every simulated substrate
+	// operation (RDMA verbs, device I/O, storage-node RPCs) and may
+	// inject drops, latency spikes, duplicate deliveries, and torn
+	// appends. See internal/sim/fault for the seeded implementation.
+	Fault FaultInjector
 }
 
 // DefaultConfig returns the calibration described in DESIGN.md:

@@ -1,0 +1,56 @@
+package sim
+
+import "errors"
+
+// ErrInjected is the root of every error surfaced by fault injection.
+// Substrates return it (usually wrapped) when the fault layer decides an
+// operation is dropped or fails transiently; engines must treat it like
+// any other transient fabric error (abort/retry), never as corruption.
+var ErrInjected = errors.New("sim: injected fault")
+
+// FaultOutcome is the fault layer's verdict on one substrate operation.
+// The zero value means "proceed normally". Latency spikes are not
+// represented here: the injector charges them directly on the caller's
+// clock before returning.
+type FaultOutcome struct {
+	// Drop fails the operation before it takes effect (a lost message /
+	// transient EIO). Err is the error to surface.
+	Drop bool
+	// Err is the error returned for dropped operations; substrates fall
+	// back to ErrInjected when nil.
+	Err error
+	// Duplicate delivers the operation's payload a second time. Only
+	// sites with idempotent application honor it (one-sided writes,
+	// durable log appends with LSN dedup); others treat it as a no-op.
+	Duplicate bool
+	// Torn crashes the component mid-operation: a durable append
+	// persists only a prefix of the batch and then fails. Sites that
+	// cannot tear treat Torn as Drop.
+	Torn bool
+}
+
+// FaultInjector decides, per substrate operation, whether to misbehave.
+// Implementations must be safe for concurrent use and deterministic given
+// their seed (see internal/sim/fault). The caller's clock is passed so
+// the injector can charge latency spikes.
+type FaultInjector interface {
+	Inject(c *Clock, site string) FaultOutcome
+}
+
+// Inject consults the config's fault injector, if any. Substrates call
+// this at the top of every fabric/device operation with a stable site
+// name ("rdma.write", "logstore.append", ...).
+func (c *Config) Inject(clk *Clock, site string) FaultOutcome {
+	if c.Fault == nil {
+		return FaultOutcome{}
+	}
+	return c.Fault.Inject(clk, site)
+}
+
+// FaultErr returns the outcome's error, defaulting to ErrInjected.
+func (o FaultOutcome) FaultErr() error {
+	if o.Err != nil {
+		return o.Err
+	}
+	return ErrInjected
+}

@@ -46,8 +46,11 @@ func (g *PageStoreGroup) WriteToOne(c *sim.Clock, recs []wal.Record) error {
 }
 
 // GossipRound runs one anti-entropy round: every store catches up from the
-// freshest healthy peer. Returns total records shipped. Gossip runs on
-// background clocks; pass a throwaway clock unless modeling its cost.
+// freshest healthy peer, then from the authoritative log itself — injected
+// drops can lose a delivery entirely, leaving holes no peer holds, and the
+// log-store tier is the anti-entropy source of last resort for those.
+// Returns total records shipped. Gossip runs on background clocks; pass a
+// throwaway clock unless modeling its cost.
 func (g *PageStoreGroup) GossipRound(c *sim.Clock) int {
 	// All-pairs exchange seeded from every store: each store catches up
 	// from each healthy peer, so holes propagate even when no single
@@ -66,6 +69,12 @@ func (g *PageStoreGroup) GossipRound(c *sim.Clock) int {
 				total += n
 			}
 		}
+	}
+	for _, s := range g.Stores {
+		if s.Failed() {
+			continue
+		}
+		total += s.CatchUpFromLog(c, g.log)
 	}
 	return total
 }

@@ -29,13 +29,20 @@ type LogStore struct {
 
 	mu      sync.Mutex
 	records []wal.Record
+	seen    map[wal.LSN]struct{}
 	highLSN wal.LSN
 	failed  bool
 }
 
+// hasLSNLocked reports whether the record at lsn is already durable here.
+func (ls *LogStore) hasLSNLocked(lsn wal.LSN) bool {
+	_, ok := ls.seen[lsn]
+	return ok
+}
+
 // NewLogStore creates a log store on the given medium.
 func NewLogStore(cfg *sim.Config, medium Medium) *LogStore {
-	return &LogStore{cfg: cfg, medium: medium, meter: sim.NewMeter(cfg.NICSlots)}
+	return &LogStore{cfg: cfg, medium: medium, meter: sim.NewMeter(cfg.NICSlots), seen: make(map[wal.LSN]struct{})}
 }
 
 // Fail crashes the store (records are durable across Restart).
@@ -53,20 +60,40 @@ func (ls *LogStore) Restart() {
 }
 
 // Append durably stores the records: one network round trip plus the
-// medium's persist cost for the payload.
+// medium's persist cost for the payload. Appends are idempotent per LSN
+// (duplicate deliveries of already-durable records are absorbed), and
+// fault injection can tear an append mid-batch: a prefix of the records
+// is durable, the rest is lost, and the caller sees an error — the
+// crash-point-mid-WAL-append case engines must treat as an unacknowledged
+// commit.
 func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
+	f := ls.cfg.Inject(c, "logstore.append")
+	if f.Drop {
+		return f.FaultErr()
+	}
+	persistRecs := recs
+	if f.Torn {
+		persistRecs = recs[:len(recs)/2]
+	}
 	ls.mu.Lock()
 	if ls.failed {
 		ls.mu.Unlock()
 		return ErrReplicaDown
 	}
-	ls.records = append(ls.records, recs...)
-	for _, r := range recs {
+	for _, r := range persistRecs {
+		if ls.hasLSNLocked(r.LSN) {
+			continue // duplicate delivery of a durable record
+		}
+		ls.seen[r.LSN] = struct{}{}
+		ls.records = append(ls.records, r)
 		if r.LSN > ls.highLSN {
 			ls.highLSN = r.LSN
 		}
 	}
 	ls.mu.Unlock()
+	if f.Torn {
+		return f.FaultErr()
+	}
 
 	n := encodedSize(recs)
 	var persist time.Duration
@@ -86,6 +113,9 @@ func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
 // maintains per-page log chains (as PilotDB's PM layer does), so only the
 // relevant records cross the network.
 func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal.Record, error) {
+	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
+		return nil, f.FaultErr()
+	}
 	ls.mu.Lock()
 	if ls.failed {
 		ls.mu.Unlock()
@@ -127,6 +157,9 @@ func (ls *LogStore) Len() int {
 // Since returns records with LSN > after (replay on recovery), charging
 // network transfer for the shipped bytes.
 func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
+	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
+		return nil, f.FaultErr()
+	}
 	ls.mu.Lock()
 	if ls.failed {
 		ls.mu.Unlock()

@@ -173,11 +173,28 @@ func (r *Replica) PrefixLSN() wal.LSN {
 
 // Ingest delivers records directly to this replica, charging its network
 // link (single-replica tiers: Socrates page servers, Taurus page stores).
+// Fault injection can drop the delivery (transient error: no record lands),
+// tear it (a prefix lands, the rest is lost, caller sees an error), or
+// duplicate it (absorbed — ingest dedups by LSN).
 func (r *Replica) Ingest(c *sim.Clock, recs []wal.Record) error {
-	n := encodedSize(recs)
+	f := r.cfg.Inject(c, "replica.ingest")
+	if f.Drop {
+		return f.FaultErr()
+	}
+	deliver := recs
+	if f.Torn {
+		deliver = recs[:len(recs)/2]
+	}
+	n := encodedSize(deliver)
 	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
-	if !r.ingest(recs) {
+	if !r.ingest(deliver) {
 		return ErrReplicaDown
+	}
+	if f.Duplicate {
+		r.ingest(deliver) // repeat delivery; LSN dedup absorbs it
+	}
+	if f.Torn {
+		return f.FaultErr()
 	}
 	return nil
 }
@@ -208,7 +225,17 @@ func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
 	// applied in LSN order for the page-LSN idempotence check to hold.
 	sort.Slice(pend, func(i, j int) bool { return pend[i].LSN < pend[j].LSN })
 	p := page.Wrap(data)
+	var keep []wal.Record
 	for _, rec := range pend {
+		if rec.LSN > r.prefixLSN {
+			// Past a log hole: applying this record would stamp the page
+			// with an LSN that overstates completeness (ReadPage would
+			// then serve the page as fresh while a dropped record for
+			// another key on it is still missing). Hold it until the
+			// prefix catches up.
+			keep = append(keep, rec)
+			continue
+		}
 		if rec.LSN <= wal.LSN(p.LSN()) {
 			continue
 		}
@@ -220,7 +247,11 @@ func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
 			c.Advance(r.cfg.CPU.Cost(len(rec.After) + 16))
 		}
 	}
-	delete(r.pending, id)
+	if len(keep) > 0 {
+		r.pending[id] = keep
+	} else {
+		delete(r.pending, id)
+	}
 	return data
 }
 
@@ -228,6 +259,9 @@ func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
 // network round trip and materialization. It fails on crashed replicas and
 // on replicas that have not received log up to minLSN (stale gossip copy).
 func (r *Replica) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, error) {
+	if f := r.cfg.Inject(c, "replica.read"); f.Drop || f.Torn {
+		return nil, f.FaultErr()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failed {
@@ -248,6 +282,9 @@ func (r *Replica) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, er
 // WritePage installs a full page image (page-shipping path used by PolarDB
 // alongside log shipping, and by checkpointers).
 func (r *Replica) WritePage(c *sim.Clock, id page.ID, data []byte) error {
+	if f := r.cfg.Inject(c, "replica.write"); f.Drop || f.Torn {
+		return f.FaultErr()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failed {
@@ -347,6 +384,38 @@ func (r *Replica) CatchUpFrom(c *sim.Clock, peer *Replica, log *wal.Log) (int, e
 	c.Advance(sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
 	r.ingest(ship)
 	return len(ship), nil
+}
+
+// CatchUpFromLog ships every record the replica lacks straight from the
+// authoritative log (heal path: injected drops and torn deliveries can
+// leave LSN holes no peer holds either, which would stall the prefix
+// forever). Returns the number of records shipped.
+func (r *Replica) CatchUpFromLog(c *sim.Clock, log *wal.Log) int {
+	r.mu.Lock()
+	if r.failed {
+		r.mu.Unlock()
+		return 0
+	}
+	from := r.prefixLSN
+	r.mu.Unlock()
+
+	var ship []wal.Record
+	for _, rec := range log.Since(from) {
+		r.mu.Lock()
+		lacks := !r.hasLSN(rec.LSN)
+		r.mu.Unlock()
+		if lacks {
+			ship = append(ship, rec)
+		}
+	}
+	if len(ship) == 0 {
+		return 0
+	}
+	if c != nil {
+		c.Advance(sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(encodedSize(ship)))
+	}
+	r.ingest(ship)
+	return len(ship)
 }
 
 // String implements fmt.Stringer.

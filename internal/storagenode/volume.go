@@ -79,18 +79,47 @@ func (v *Volume) ReadAvailable() bool { return v.Alive() >= v.ReadQ }
 // and returns when the write quorum has acknowledged: the caller's clock
 // advances by the W-th fastest replica acknowledgement. Every alive
 // replica ultimately receives the records (slow acks are still in flight).
+// Fault injection acts per replica delivery: a dropped delivery loses that
+// replica's copy, a torn one lands only a prefix there — the append still
+// succeeds if W deliveries land whole, else the caller sees the fault (an
+// unacknowledged commit whose records may survive on some replicas).
 func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
 	if !v.WriteAvailable() {
 		return ErrNoQuorum
 	}
 	n := encodedSize(recs)
 	var acks []float64
+	var faultErr error
 	for _, r := range v.Replicas {
 		if r.Failed() {
 			continue
 		}
+		f := v.cfg.Inject(c, "volume.ingest")
+		if f.Drop {
+			faultErr = f.FaultErr()
+			continue
+		}
+		deliver := recs
+		if f.Torn {
+			deliver = recs[:len(recs)/2]
+			faultErr = f.FaultErr()
+		}
+		if !r.ingest(deliver) {
+			continue
+		}
+		if f.Duplicate {
+			r.ingest(deliver)
+		}
+		if f.Torn {
+			continue // prefix landed but this replica does not ack
+		}
 		acks = append(acks, r.netCost(n))
-		r.ingest(recs)
+	}
+	if len(acks) < v.WriteQ {
+		if faultErr != nil {
+			return faultErr
+		}
+		return ErrNoQuorum
 	}
 	sort.Float64s(acks)
 	quorumLat := time.Duration(acks[v.WriteQ-1])
@@ -147,6 +176,20 @@ func (v *Volume) FindHighLSN(c *sim.Clock) (wal.LSN, error) {
 	}
 	v.meter.Charge(c, time.Duration(acks[idx]))
 	return high, nil
+}
+
+// Heal catches every alive replica up from the authoritative log,
+// restoring quorum freshness after injected drops or torn deliveries left
+// holes no peer can fill. Returns the total records shipped.
+func (v *Volume) Heal(c *sim.Clock, log *wal.Log) int {
+	total := 0
+	for _, r := range v.Replicas {
+		if r.Failed() {
+			continue
+		}
+		total += r.CatchUpFromLog(c, log)
+	}
+	return total
 }
 
 // RepairReplica restores a crashed replica and catches it up from the

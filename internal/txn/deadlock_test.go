@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/disagglab/disagg/internal/rdma"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/fault"
+)
+
+// Two transactions acquiring the same pair of keys in opposite order must
+// not hang: the retry budget converts the deadlock into ErrDeadlock on at
+// least one side, and the survivor (if any) can finish.
+func TestCrossTransactionDeadlockResolves(t *testing.T) {
+	lt := NewLockTable()
+	opts := AcquireOpts{Retries: 5, Backoff: time.Microsecond}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	acquire := func(idx int, tx, first, second uint64) {
+		defer wg.Done()
+		c := sim.NewClock()
+		if err := lt.Acquire(c, tx, first, Exclusive, opts); err != nil {
+			errs[idx] = err
+			return
+		}
+		defer lt.Unlock(tx, first, Exclusive)
+		// Hold first long enough that the other side is already holding
+		// its own first key, then go for the crossing key.
+		time.Sleep(time.Millisecond)
+		if err := lt.Acquire(c, tx, second, Exclusive, opts); err != nil {
+			errs[idx] = err
+			return
+		}
+		lt.Unlock(tx, second, Exclusive)
+	}
+	wg.Add(2)
+	go acquire(0, 1, 100, 200)
+	go acquire(1, 2, 200, 100)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlocked: Acquire never timed out")
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+	}
+	// Both keys must be fully released regardless of who aborted.
+	if lt.Held(100) || lt.Held(200) {
+		t.Fatal("locks leaked after deadlock resolution")
+	}
+}
+
+// The timeout path must charge the virtual clock for every backoff, so
+// contention is visible in simulated time, and report ErrDeadlock (not
+// hang, not nil).
+func TestAcquireTimeoutChargesClock(t *testing.T) {
+	lt := NewLockTable()
+	if !lt.TryLock(1, 7, Exclusive) {
+		t.Fatal("setup lock failed")
+	}
+	c := sim.NewClock()
+	opts := AcquireOpts{Retries: 8, Backoff: 3 * time.Microsecond, AttemptCost: time.Microsecond}
+	err := lt.Acquire(c, 2, 7, Exclusive, opts)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// 9 attempts at 1us each + backoffs 3,6,...,24us = 9 + 108.
+	want := 9*time.Microsecond + 108*time.Microsecond
+	if c.Now() != want {
+		t.Fatalf("clock charged %v, want %v", c.Now(), want)
+	}
+}
+
+// An upgrade attempt while another shared holder remains must burn its
+// retries and fail with ErrDeadlock, leaving the shared holds intact.
+func TestUpgradeBlockedBySecondSharedHolder(t *testing.T) {
+	lt := NewLockTable()
+	if !lt.TryLock(1, 42, Shared) || !lt.TryLock(2, 42, Shared) {
+		t.Fatal("setup shared locks failed")
+	}
+	c := sim.NewClock()
+	err := lt.Acquire(c, 1, 42, Exclusive, AcquireOpts{Retries: 3, Backoff: time.Microsecond})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("upgrade with a co-holder: want ErrDeadlock, got %v", err)
+	}
+	// After the co-holder leaves, the upgrade succeeds.
+	lt.Unlock(2, 42, Shared)
+	if err := lt.Acquire(c, 1, 42, Exclusive, DefaultAcquire); err != nil {
+		t.Fatalf("upgrade as sole holder: %v", err)
+	}
+	lt.Unlock(1, 42, Exclusive)
+	lt.Unlock(1, 42, Shared)
+	if lt.Held(42) {
+		t.Fatal("lock leaked after upgrade cycle")
+	}
+}
+
+// Shared re-acquisition is re-entrant and must be released once per hold.
+func TestSharedReentrancyCounts(t *testing.T) {
+	lt := NewLockTable()
+	for i := 0; i < 3; i++ {
+		if !lt.TryLock(1, 9, Shared) {
+			t.Fatalf("re-entrant shared acquire %d failed", i)
+		}
+	}
+	lt.Unlock(1, 9, Shared)
+	lt.Unlock(1, 9, Shared)
+	if !lt.Held(9) {
+		t.Fatal("lock dropped while one hold remains")
+	}
+	// Still a shared holder: an outside exclusive must fail.
+	if lt.TryLock(2, 9, Exclusive) {
+		t.Fatal("exclusive granted despite remaining shared hold")
+	}
+	lt.Unlock(1, 9, Shared)
+	if lt.Held(9) {
+		t.Fatal("lock leaked after final unlock")
+	}
+}
+
+// A remote Acquire against a lock that never frees must time out with
+// ErrDeadlock after burning its CAS budget.
+func TestRemoteAcquireTimesOut(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	node := rdma.NewNode(cfg, "mem0", 1<<16)
+	rlt := NewRemoteLockTable(0, 16)
+	qp1 := rdma.Connect(cfg, node, nil)
+	qp2 := rdma.Connect(cfg, node, nil)
+	c := sim.NewClock()
+	if ok, err := rlt.TryLock(c, qp1, 1, 5); err != nil || !ok {
+		t.Fatalf("setup: %v %v", ok, err)
+	}
+	err := rlt.Acquire(sim.NewClock(), qp2, 2, 5, AcquireOpts{Retries: 4, Backoff: time.Microsecond})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+// Injected fabric faults on the CAS path must surface as errors from
+// Acquire (not spin, not succeed).
+func TestRemoteAcquireSurfacesInjectedFault(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Fault = fault.New(11, fault.Profile{Name: "cas-drop", Drop: 1.0, Sites: []string{"rdma."}})
+	node := rdma.NewNode(cfg, "mem0", 1<<16)
+	rlt := NewRemoteLockTable(0, 16)
+	qp := rdma.Connect(cfg, node, nil)
+	err := rlt.Acquire(sim.NewClock(), qp, 1, 5, AcquireOpts{Retries: 2, Backoff: time.Microsecond})
+	if err == nil {
+		t.Fatal("acquire succeeded across a fully dropped fabric")
+	}
+	if !errors.Is(err, sim.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+}

@@ -115,6 +115,30 @@ func Decode(p []byte) (Record, int, error) {
 	return r, total, nil
 }
 
+// DecodePrefix parses the longest clean prefix of a record stream,
+// tolerating a torn tail: a trailing partial record (short header or
+// truncated payload — what a crash mid-append leaves behind) is discarded
+// rather than reported as an error. A structurally bad record (invalid
+// type byte) still fails: that is corruption, not a crash artifact.
+// Returns the records and the number of bytes consumed.
+func DecodePrefix(p []byte) ([]Record, int, error) {
+	var out []Record
+	used := 0
+	for len(p) > 0 {
+		r, n, err := Decode(p)
+		if errors.Is(err, ErrShortRecord) {
+			return out, used, nil
+		}
+		if err != nil {
+			return out, used, err
+		}
+		out = append(out, r)
+		p = p[n:]
+		used += n
+	}
+	return out, used, nil
+}
+
 // DecodeAll parses a concatenation of records.
 func DecodeAll(p []byte) ([]Record, error) {
 	var out []Record
