@@ -9,6 +9,8 @@
 //	disagg-bench -list
 //	disagg-bench -run all -scale quick
 //	disagg-bench -run E1,E6,E18 -scale full
+//	disagg-bench -run E1 -trace          # span tree of one representative op
+//	disagg-bench -run E1,E6,E18 -stats   # per-site latency/byte/meter tables
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 		scale   = flag.String("scale", "quick", "quick | full")
 		rdmaUS  = flag.Float64("rdma-us", 0, "override one-sided RDMA base latency (µs)")
 		cxlNS   = flag.Float64("cxl-ns", 0, "override CXL base latency (ns)")
+		trace   = flag.Bool("trace", false, "print the span tree of one representative op per experiment")
+		stats   = flag.Bool("stats", false, "print per-site telemetry tables after each experiment")
 		verbose = flag.Bool("v", false, "print claims before each experiment")
 	)
 	flag.Parse()
@@ -78,8 +82,18 @@ func main() {
 			fmt.Printf("---- %s claim: %s\n", e.ID, e.Claim)
 		}
 		start := time.Now()
-		r := e.Run(cfg.Clone(), sc)
+		ecfg := cfg.Clone()
+		ecfg.Trace = *trace
+		var reg *sim.Registry
+		if *stats {
+			reg = sim.NewRegistry()
+			ecfg.Stats = reg
+		}
+		r := e.Run(ecfg, sc)
 		harness.Render(os.Stdout, r)
+		if reg != nil {
+			fmt.Println(reg.Table(e.ID + " per-site telemetry").String())
+		}
 		if r.Failed() {
 			failed++
 		}

@@ -28,7 +28,9 @@ type Device struct {
 
 // NewDevice allocates a CXL memory expander of the given size.
 func NewDevice(cfg *sim.Config, size int) *Device {
-	return &Device{cfg: cfg, mem: rdma.NewMemory(size), meter: sim.NewMeter(cfg.NICSlots)}
+	d := &Device{cfg: cfg, mem: rdma.NewMemory(size), meter: sim.NewMeter(cfg.NICSlots)}
+	cfg.RegisterMeter("cxl", d.meter)
+	return d
 }
 
 // Size reports usable bytes.
@@ -48,28 +50,36 @@ func lines(n int) int {
 // Load performs a random (pointer-chase style) read: every touched line
 // pays the CXL base latency.
 func (d *Device) Load(c *sim.Clock, addr uint64, p []byte) error {
+	op := d.cfg.Begin(c, "cxl.load")
 	nl := lines(len(p))
 	d.meter.Charge(c, time.Duration(nl)*d.cfg.CXL.Base)
+	op.End(int64(len(p)))
 	return d.mem.Read(addr, p)
 }
 
 // LoadSeq performs a sequential prefetched read: one base latency, then
 // bandwidth-bound streaming.
 func (d *Device) LoadSeq(c *sim.Clock, addr uint64, p []byte) error {
+	op := d.cfg.Begin(c, "cxl.load")
 	d.meter.Charge(c, d.cfg.CXL.Cost(len(p)))
+	op.End(int64(len(p)))
 	return d.mem.Read(addr, p)
 }
 
 // Store performs a random write (per-line base latency).
 func (d *Device) Store(c *sim.Clock, addr uint64, p []byte) error {
+	op := d.cfg.Begin(c, "cxl.store")
 	nl := lines(len(p))
 	d.meter.Charge(c, time.Duration(nl)*d.cfg.CXL.Base)
+	op.End(int64(len(p)))
 	return d.mem.Write(addr, p)
 }
 
 // StoreSeq performs a sequential streaming write.
 func (d *Device) StoreSeq(c *sim.Clock, addr uint64, p []byte) error {
+	op := d.cfg.Begin(c, "cxl.store")
 	d.meter.Charge(c, d.cfg.CXL.Cost(len(p)))
+	op.End(int64(len(p)))
 	return d.mem.Write(addr, p)
 }
 
@@ -160,7 +170,9 @@ func (s *TieredSpace) CXLFree() uint64 { return s.cxl.Size() - s.cxlUsed }
 func (r *Region) Read(c *sim.Clock, off uint64, p []byte, sequential bool) error {
 	switch r.Tier {
 	case TierLocal:
+		op := r.sp.cfg.Begin(c, "dram.access")
 		r.sp.dramMeter.Charge(c, r.sp.cfg.DRAM.Cost(len(p)))
+		op.End(int64(len(p)))
 		return r.sp.local.Read(r.Addr+off, p)
 	default:
 		if sequential {
@@ -174,7 +186,9 @@ func (r *Region) Read(c *sim.Clock, off uint64, p []byte, sequential bool) error
 func (r *Region) Write(c *sim.Clock, off uint64, p []byte, sequential bool) error {
 	switch r.Tier {
 	case TierLocal:
+		op := r.sp.cfg.Begin(c, "dram.access")
 		r.sp.dramMeter.Charge(c, r.sp.cfg.DRAM.Cost(len(p)))
+		op.End(int64(len(p)))
 		return r.sp.local.Write(r.Addr+off, p)
 	default:
 		if sequential {

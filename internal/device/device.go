@@ -22,12 +22,16 @@ type DRAM struct {
 
 // NewDRAM returns a DRAM device with the given number of channels.
 func NewDRAM(cfg *sim.Config, channels int) *DRAM {
-	return &DRAM{cfg: cfg, meter: sim.NewMeter(channels)}
+	d := &DRAM{cfg: cfg, meter: sim.NewMeter(channels)}
+	cfg.RegisterMeter("dram", d.meter)
+	return d
 }
 
 // Access charges one memory access of n bytes.
 func (d *DRAM) Access(c *sim.Clock, n int) {
+	op := d.cfg.Begin(c, "dram.access")
 	d.meter.Charge(c, d.cfg.DRAM.Cost(n))
+	op.End(int64(n))
 }
 
 // PM is a persistent-memory device (Optane-like). Reads are near-DRAM;
@@ -43,28 +47,34 @@ type PM struct {
 // NewPM returns a PM device; legacyStack selects the syscall-mediated
 // access path used by experiment E7.
 func NewPM(cfg *sim.Config, channels int, legacyStack bool) *PM {
-	return &PM{cfg: cfg, meter: sim.NewMeter(channels), LegacyStack: legacyStack}
+	p := &PM{cfg: cfg, meter: sim.NewMeter(channels), LegacyStack: legacyStack}
+	cfg.RegisterMeter("pm", p.meter)
+	return p
 }
 
 // Read charges a read of n bytes.
 func (p *PM) Read(c *sim.Clock, n int) {
+	op := p.cfg.Begin(c, "pm.read")
 	p.cfg.Inject(c, "pm.read")
 	d := p.cfg.PMRead.Cost(n)
 	if p.LegacyStack {
 		d += p.cfg.LocalPMSyscall
 	}
 	p.meter.Charge(c, d)
+	op.End(int64(n))
 }
 
 // WritePersist charges a write of n bytes that reaches the persistence
 // domain before returning.
 func (p *PM) WritePersist(c *sim.Clock, n int) {
+	op := p.cfg.Begin(c, "pm.write")
 	p.cfg.Inject(c, "pm.write")
 	d := p.cfg.PMWrite.Cost(n)
 	if p.LegacyStack {
 		d += p.cfg.LocalPMSyscall
 	}
 	p.meter.Charge(c, d)
+	op.End(int64(n))
 }
 
 // SSD is an NVMe block device.
@@ -75,20 +85,26 @@ type SSD struct {
 
 // NewSSD returns an SSD with the given queue depth.
 func NewSSD(cfg *sim.Config, queueDepth int) *SSD {
-	return &SSD{cfg: cfg, meter: sim.NewMeter(queueDepth)}
+	s := &SSD{cfg: cfg, meter: sim.NewMeter(queueDepth)}
+	cfg.RegisterMeter("ssd", s.meter)
+	return s
 }
 
 // Read charges a block read of n bytes. Fault injection can add latency
 // spikes (the cost model has no error path; drops are a fabric property).
 func (s *SSD) Read(c *sim.Clock, n int) {
+	op := s.cfg.Begin(c, "ssd.read")
 	s.cfg.Inject(c, "ssd.read")
 	s.meter.Charge(c, s.cfg.SSDRead.Cost(n))
+	op.End(int64(n))
 }
 
 // Write charges a durable block write of n bytes.
 func (s *SSD) Write(c *sim.Clock, n int) {
+	op := s.cfg.Begin(c, "ssd.write")
 	s.cfg.Inject(c, "ssd.write")
 	s.meter.Charge(c, s.cfg.SSDWrite.Cost(n))
+	op.End(int64(n))
 }
 
 // ErrNoSuchObject is returned by ObjectStore.Get for missing keys.
@@ -108,7 +124,9 @@ type ObjectStore struct {
 
 // NewObjectStore returns an empty object store.
 func NewObjectStore(cfg *sim.Config) *ObjectStore {
-	return &ObjectStore{cfg: cfg, meter: sim.NewMeter(64), objects: make(map[string][]byte)}
+	o := &ObjectStore{cfg: cfg, meter: sim.NewMeter(64), objects: make(map[string][]byte)}
+	cfg.RegisterMeter("obj", o.meter)
+	return o
 }
 
 // Put stores an immutable object and charges the upload cost. Under
@@ -116,8 +134,10 @@ func NewObjectStore(cfg *sim.Config) *ObjectStore {
 // mid-transfer, leaving a truncated object behind — readers must treat
 // short objects as torn tails (wal.DecodePrefix-style recovery).
 func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) error {
+	op := o.cfg.Begin(c, "obj.put")
 	f := o.cfg.Inject(c, "obj.put")
 	if f.Drop {
+		op.End(0)
 		return f.FaultErr()
 	}
 	cp := make([]byte, len(data))
@@ -129,6 +149,7 @@ func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) error {
 	o.objects[key] = cp
 	o.mu.Unlock()
 	o.meter.Charge(c, o.cfg.ObjPut.Cost(len(cp)))
+	op.End(int64(len(cp)))
 	if f.Torn {
 		return f.FaultErr()
 	}
@@ -137,16 +158,20 @@ func (o *ObjectStore) Put(c *sim.Clock, key string, data []byte) error {
 
 // Get fetches an object, charging the download cost.
 func (o *ObjectStore) Get(c *sim.Clock, key string) ([]byte, error) {
+	op := o.cfg.Begin(c, "obj.get")
 	if f := o.cfg.Inject(c, "obj.get"); f.Drop || f.Torn {
+		op.End(0)
 		return nil, f.FaultErr()
 	}
 	o.mu.RLock()
 	data, ok := o.objects[key]
 	o.mu.RUnlock()
 	if !ok {
+		op.End(0)
 		return nil, ErrNoSuchObject
 	}
 	o.meter.Charge(c, o.cfg.ObjGet.Cost(len(data)))
+	op.End(int64(len(data)))
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	return cp, nil
@@ -155,16 +180,20 @@ func (o *ObjectStore) Get(c *sim.Clock, key string) ([]byte, error) {
 // GetRange fetches length bytes at offset (cheap partial read, used for
 // columnar pruning where only some column chunks are fetched).
 func (o *ObjectStore) GetRange(c *sim.Clock, key string, off, length int) ([]byte, error) {
+	op := o.cfg.Begin(c, "obj.get")
 	if f := o.cfg.Inject(c, "obj.get"); f.Drop || f.Torn {
+		op.End(0)
 		return nil, f.FaultErr()
 	}
 	o.mu.RLock()
 	data, ok := o.objects[key]
 	o.mu.RUnlock()
 	if !ok {
+		op.End(0)
 		return nil, ErrNoSuchObject
 	}
 	if off < 0 || off > len(data) {
+		op.End(0)
 		return nil, ErrNoSuchObject
 	}
 	end := off + length
@@ -172,6 +201,7 @@ func (o *ObjectStore) GetRange(c *sim.Clock, key string, off, length int) ([]byt
 		end = len(data)
 	}
 	o.meter.Charge(c, o.cfg.ObjGet.Cost(end-off))
+	op.End(int64(end - off))
 	cp := make([]byte, end-off)
 	copy(cp, data[off:end])
 	return cp, nil

@@ -331,6 +331,10 @@ func RunConformance(t *testing.T, factory Factory) {
 			inj := fault.New(seed, p)
 			cfg := sim.DefaultConfig()
 			cfg.Fault = inj
+			// Per-site telemetry shares the fault injector's site labels;
+			// on an invariant failure the table shows where latency and
+			// bytes went under this profile.
+			cfg.Stats = sim.NewRegistry()
 			e := factory(t, cfg)
 			res := runConformanceWorkload(e, layout, seed)
 			// Verification runs on a healed fabric: the invariants are
@@ -345,6 +349,9 @@ func RunConformance(t *testing.T, factory Factory) {
 			}
 			reportViolations(t, seed, p.Name, verifyFinalState(e, res))
 			crashRecoverVerify(t, e, res, seed, p.Name)
+			if t.Failed() {
+				t.Logf("per-site telemetry under profile %q:\n%s", p.Name, cfg.Stats.String())
+			}
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/engine/aurora"
 	"github.com/disagglab/disagg/internal/engine/monolithic"
+	"github.com/disagglab/disagg/internal/engine/pilotdb"
 	"github.com/disagglab/disagg/internal/engine/polardb"
 	"github.com/disagglab/disagg/internal/engine/sharednothing"
 	"github.com/disagglab/disagg/internal/engine/snowflake"
@@ -15,6 +16,7 @@ import (
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/metrics"
 	"github.com/disagglab/disagg/internal/query"
+	"github.com/disagglab/disagg/internal/rdma"
 	"github.com/disagglab/disagg/internal/sim"
 	"github.com/disagglab/disagg/internal/workload"
 )
@@ -104,10 +106,14 @@ func runE1(cfg *sim.Config, s Scale) *Result {
 		rows = append(rows, row{name, res, sum, e.Stats(), e.Stats().PageBytes.Load()})
 	}
 	run("monolithic", monolithic.New(cfg, layout, 1024))
-	run("aurora", aurora.New(cfg, layout, 1024, 0))
+	auE := aurora.New(cfg, layout, 1024, 0)
+	run("aurora", auE)
 	pol := polardb.New(cfg, layout, 1024)
 	run("polardb", pol)
 	run("socrates", socrates.New(cfg, layout, 1024, 2))
+	// PilotDB ships its log over one-sided RDMA, so its row also exercises
+	// the fabric substrate (rdma.* telemetry sites) under this workload.
+	run("pilotdb", pilotdb.New(cfg, layout, 1024, pilotdb.Pilot()))
 
 	t := r.table("E1: TPC-C-lite, "+fmt.Sprint(workers)+" clients",
 		"engine", "tput(txn/s)", "p50", "p99", "net B/txn", "log B/txn", "page B/txn")
@@ -136,6 +142,18 @@ func runE1(cfg *sim.Config, s Scale) *Result {
 	r.check("monolithic uses no network", mo.st.NetBytes.Load() == 0,
 		"monolithic net bytes = %d", mo.st.NetBytes.Load())
 	r.check("polardb ships pages too", po.pageBytes > 0, "polardb page bytes = %d", po.pageBytes)
+	// Fabric reference point: what one transaction's log batch costs to
+	// persist on remote PM with the one-sided recipe (§2.3) — the floor
+	// that log-as-the-database engines are chasing.
+	pm := rdma.NewPMNode(cfg, "logpm", 1<<20)
+	fc := sim.NewClock()
+	rdma.Connect(cfg, pm, nil).WritePersist(fc, 0, make([]byte, 768))
+	r.note("fabric floor: one-sided persist of a 768B log batch on remote PM costs %v", fc.Now())
+	r.traceOp(cfg, "txn.write", func(c *sim.Clock) {
+		auE.Execute(c, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, layout.ValSize))
+		})
+	})
 	return r
 }
 

@@ -60,6 +60,9 @@ func runE6(cfg *sim.Config, s Scale) *Result {
 		"posted bytes remain pending until flushed")
 	r.check("RPC persist beats write+flush-read", okRPC,
 		"one round trip + server flush vs two dependent round trips")
+	r.traceOp(cfg, "pm.persist256", func(c *sim.Clock) {
+		rdma.Connect(cfg, node, nil).WritePersist(c, 0, make([]byte, 256))
+	})
 	return r
 }
 

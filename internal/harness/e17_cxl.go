@@ -160,6 +160,11 @@ func runE18(cfg *sim.Config, s Scale) *Result {
 	t2.Row("RDMA", appRDMA)
 	r.check("application speedup ~3x", appRatio > 2 && appRatio < 7,
 		"%.1fx (DirectCXL reports ~3x; compute dilutes the raw gap)", appRatio)
+	r.traceOp(cfg, "hop.rdma+cxl", func(c *sim.Clock) {
+		qp.Read(c, 0, buf)
+		dev.Load(c, 0, buf)
+		c.Advance(cfg.CPU.Cost(64))
+	})
 	return r
 }
 

@@ -50,6 +50,9 @@ type Result struct {
 	Tables []*metrics.Table
 	Checks []Check
 	Notes  []string
+	// Trace, when non-nil, is the span tree of one representative
+	// operation (recorded when cfg.Trace is set; see Result.traceOp).
+	Trace *sim.Trace
 }
 
 // table creates and registers a table.
@@ -67,6 +70,28 @@ func (r *Result) check(name string, ok bool, detail string, args ...any) {
 // note records free-form commentary printed under the tables.
 func (r *Result) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// traceOp records the span tree of one representative operation when
+// cfg.Trace is set: fn runs on a fresh clock with a trace attached, the
+// whole operation wrapped in a root span named site, so the root's
+// duration is exactly the operation's end-to-end virtual latency. A check
+// pins that equality so the trace cannot silently lose charged time.
+func (r *Result) traceOp(cfg *sim.Config, site string, fn func(c *sim.Clock)) {
+	if !cfg.Trace {
+		return
+	}
+	tr := sim.NewTrace(site)
+	c := sim.NewClock()
+	c.SetTrace(tr)
+	op := cfg.Begin(c, site)
+	fn(c)
+	op.End(0)
+	r.Trace = tr
+	r.note("traced representative op %s: end-to-end %v", site, c.Now())
+	r.check("trace root equals end-to-end latency",
+		tr.Root() != nil && tr.Root().Duration() == c.Now(),
+		"root %v vs clock %v", tr.Root().Duration(), c.Now())
 }
 
 // Failed reports whether any check failed.
@@ -126,6 +151,11 @@ func Render(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "==== %s: %s ====\n", r.ID, r.Title)
 	for _, t := range r.Tables {
 		fmt.Fprintln(w, t.String())
+	}
+	if r.Trace != nil {
+		fmt.Fprintln(w, "span tree (virtual time):")
+		fmt.Fprint(w, r.Trace.String())
+		fmt.Fprintln(w)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)

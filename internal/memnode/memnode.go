@@ -143,9 +143,11 @@ func (p *Pool) UsedBytes() uint64 {
 // AllocRemote performs an allocation from a compute node over the fabric
 // (control-plane RPC).
 func AllocRemote(c *sim.Clock, qp *rdma.QP, size uint64) (uint64, error) {
+	op := qp.Config().Begin(c, "memnode.alloc")
 	var req [8]byte
 	binary.LittleEndian.PutUint64(req[:], size)
 	resp, err := qp.Call(c, "alloc", req[:])
+	op.End(int64(size))
 	if err != nil {
 		return 0, err
 	}
@@ -160,9 +162,11 @@ func AllocRemote(c *sim.Clock, qp *rdma.QP, size uint64) (uint64, error) {
 
 // FreeRemote releases an allocation over the fabric.
 func FreeRemote(c *sim.Clock, qp *rdma.QP, addr uint64) error {
+	op := qp.Config().Begin(c, "memnode.free")
 	var req [8]byte
 	binary.LittleEndian.PutUint64(req[:], addr)
 	_, err := qp.Call(c, "free", req[:])
+	op.End(0)
 	return err
 }
 

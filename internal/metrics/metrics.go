@@ -116,7 +116,18 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	for i := range h.buckets {
 		seen += h.buckets[i].Load()
 		if seen >= target {
-			return time.Duration(int64(1) << uint(i+1))
+			// Clamp the bucket's upper edge to the observed maximum:
+			// besides tightening the bound, this avoids the shift
+			// overflowing for the top buckets (1<<63, 1<<64).
+			max := h.max.Load()
+			if i >= 62 {
+				return time.Duration(max)
+			}
+			edge := int64(1) << uint(i+1)
+			if edge > max {
+				return time.Duration(max)
+			}
+			return time.Duration(edge)
 		}
 	}
 	return h.Max()
@@ -293,8 +304,18 @@ func Summarize(ds []time.Duration) Summary {
 	for _, d := range cp {
 		sum += d
 	}
+	// Nearest-rank with ceiling: truncation would make P99 of 100
+	// samples miss the tail (index 98) and P50 of 2 samples return the
+	// minimum. Rounding the fractional index up keeps small-N quantiles
+	// an upper bound.
 	idx := func(q float64) time.Duration {
-		i := int(q * float64(len(cp)-1))
+		i := int(math.Ceil(q * float64(len(cp)-1)))
+		if i < 0 {
+			i = 0
+		}
+		if i > len(cp)-1 {
+			i = len(cp) - 1
+		}
 		return cp[i]
 	}
 	return Summary{

@@ -52,6 +52,36 @@ func TestHistQuantileEmptyAndClamped(t *testing.T) {
 	}
 }
 
+func TestHistQuantileTopBucketNoOverflow(t *testing.T) {
+	// Regression: observations in the top buckets used to compute the
+	// bucket upper edge as 1<<63 / 1<<64, overflowing int64 and reporting
+	// a nonsensical (zero or negative) quantile for multi-year durations.
+	h := NewHist()
+	d := time.Duration(int64(1) << 62)
+	h.Record(d)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != d {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, d)
+		}
+	}
+	h.Record(time.Microsecond)
+	if got := h.Quantile(0.99); got != d {
+		t.Fatalf("Quantile(0.99) with outlier = %v, want %v", got, d)
+	}
+}
+
+func TestHistQuantileClampedToObservedMax(t *testing.T) {
+	// A bucket's upper edge can overshoot everything actually observed;
+	// the reported bound must clamp to Max().
+	h := NewHist()
+	h.Record(5 * time.Microsecond) // bucket edge would be 8.192µs
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5*time.Microsecond {
+			t.Fatalf("Quantile(%v) = %v, want the observed max 5µs", q, got)
+		}
+	}
+}
+
 func TestHistNegativeRecord(t *testing.T) {
 	h := NewHist()
 	h.Record(-time.Second)
@@ -175,5 +205,35 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.N != 0 {
 		t.Fatal("nil input should give zero summary")
+	}
+}
+
+func TestSummarizeQuantileRanks(t *testing.T) {
+	// Regression: truncating the fractional rank made P50 of two samples
+	// return the minimum and P99 of 100 samples return the 98th-ranked
+	// value, hiding the tail. Ceiling nearest-rank pins these.
+	seq := func(n int) []time.Duration {
+		ds := make([]time.Duration, n)
+		for i := range ds {
+			ds[i] = time.Duration(i + 1)
+		}
+		return ds
+	}
+	cases := []struct {
+		name     string
+		in       []time.Duration
+		p50, p99 time.Duration
+	}{
+		{"n=1", seq(1), 1, 1},
+		{"n=2", seq(2), 2, 2}, // trunc gave P50 = 1 (the min)
+		{"n=3", seq(3), 2, 3},
+		{"n=100", seq(100), 51, 100}, // trunc gave P99 = 99 (98th-ranked)
+	}
+	for _, tc := range cases {
+		s := Summarize(tc.in)
+		if s.P50 != tc.p50 || s.P99 != tc.p99 {
+			t.Errorf("%s: P50=%v P99=%v, want P50=%v P99=%v",
+				tc.name, s.P50, s.P99, tc.p50, tc.p99)
+		}
 	}
 }

@@ -113,8 +113,10 @@ func (g *Group) alive() int {
 // but the caller sees an error before replication completes — an
 // unacknowledged write a later quorum commit may still surface.
 func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
+	op := g.cfg.Begin(c, "raft.append")
 	f := g.cfg.Inject(c, "raft.append")
 	if f.Drop {
+		op.End(0)
 		return 0, f.FaultErr()
 	}
 	g.mu.Lock()
@@ -124,6 +126,7 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 	leader.mu.Lock()
 	if leader.failed {
 		leader.mu.Unlock()
+		op.End(0)
 		return 0, ErrNotLeader
 	}
 	term := leader.term
@@ -137,6 +140,7 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 		// caller never learns the index. A later successful append at a
 		// higher index commits this one too (Raft prefix commit), so the
 		// write may still surface — exactly the ambiguous-outcome case.
+		op.End(0)
 		return 0, f.FaultErr()
 	}
 
@@ -166,12 +170,14 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 			acks = append(acks, ack)
 		} else {
 			p.mu.Unlock()
+			op.End(0)
 			return 0, ErrNotLeader // stale leader
 		}
 		p.mu.Unlock()
 	}
 	majority := len(g.peers)/2 + 1
 	if len(acks) < majority {
+		op.End(0)
 		return 0, ErrNoQuorum
 	}
 	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
@@ -190,6 +196,7 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 		}
 		p.mu.Unlock()
 	}
+	op.End(int64(len(data)))
 	return index, nil
 }
 

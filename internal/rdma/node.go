@@ -35,7 +35,7 @@ type Node struct {
 
 // NewNode creates a node with size bytes of registered memory.
 func NewNode(cfg *sim.Config, name string, size int) *Node {
-	return &Node{
+	n := &Node{
 		Name:     name,
 		Mem:      NewMemory(size),
 		NIC:      sim.NewMeter(cfg.NICSlots),
@@ -43,6 +43,9 @@ func NewNode(cfg *sim.Config, name string, size int) *Node {
 		cfg:      cfg,
 		handlers: make(map[string]Handler),
 	}
+	cfg.RegisterMeter("rdma."+name+".nic", n.NIC)
+	cfg.RegisterMeter("rdma."+name+".cpu", n.CPU)
+	return n
 }
 
 // NewPMNode creates a node whose memory is persistent memory.

@@ -53,6 +53,9 @@ func Connect(cfg *sim.Config, node *Node, stats *Stats) *QP {
 // Node returns the target node.
 func (q *QP) Node() *Node { return q.node }
 
+// Config returns the substrate config the queue pair was built on.
+func (q *QP) Config() *sim.Config { return q.cfg }
+
 // Stats returns the stats sink attached to this QP.
 func (q *QP) Stats() *Stats { return q.stats }
 
@@ -70,7 +73,9 @@ func (q *QP) Read(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
 	}
+	op := q.cfg.Begin(c, "rdma.read")
 	if o := q.cfg.Inject(c, "rdma.read"); o.Drop || o.Torn {
+		op.End(0)
 		return o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
@@ -79,6 +84,7 @@ func (q *QP) Read(c *sim.Clock, addr uint64, p []byte) error {
 	if q.node.PM {
 		q.drainPending(c)
 	}
+	op.End(int64(len(p)))
 	return q.node.Mem.Read(addr, p)
 }
 
@@ -90,26 +96,31 @@ func (q *QP) Write(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
 	}
+	op := q.cfg.Begin(c, "rdma.write")
 	o := q.cfg.Inject(c, "rdma.write")
 	if o.Drop || o.Torn {
+		op.End(0)
 		return o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(len(p)))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(int64(len(p)))
 	if err := q.node.Mem.Write(addr, p); err != nil {
+		op.End(0)
 		return err
 	}
 	if o.Duplicate {
 		// Duplicated delivery: one-sided writes are idempotent, so the
 		// repeat lands harmlessly on the same bytes.
 		if err := q.node.Mem.Write(addr, p); err != nil {
+			op.End(0)
 			return err
 		}
 	}
 	if q.node.PM {
 		q.node.pending.Add(int64(len(p)))
 	}
+	op.End(int64(len(p)))
 	return nil
 }
 
@@ -130,15 +141,19 @@ func (q *QP) drainPending(c *sim.Clock) {
 // plus the PM drain — which is exactly why Kalia et al. found the
 // two-sided CallPersist faster.
 func (q *QP) WritePersist(c *sim.Clock, addr uint64, p []byte) error {
+	op := q.cfg.Begin(c, "rdma.writepersist")
 	if err := q.Write(c, addr, p); err != nil {
+		op.End(0)
 		return err
 	}
 	if err := q.alive(); err != nil {
+		op.End(0)
 		return err
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(0))
 	q.stats.Ops.Add(1)
 	q.drainPending(c)
+	op.End(int64(len(p)))
 	return nil
 }
 
@@ -149,12 +164,15 @@ func (q *QP) CAS(c *sim.Clock, addr uint64, old, new uint64) (bool, error) {
 	if err := q.alive(); err != nil {
 		return false, err
 	}
+	op := q.cfg.Begin(c, "rdma.cas")
 	if o := q.cfg.Inject(c, "rdma.cas"); o.Drop || o.Torn {
+		op.End(0)
 		return false, o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(8)
+	op.End(8)
 	ok, err := q.node.Mem.CAS64(addr, old, new)
 	if err == nil && !ok {
 		q.stats.CASFail.Add(1)
@@ -167,12 +185,15 @@ func (q *QP) FAA(c *sim.Clock, addr uint64, delta uint64) (uint64, error) {
 	if err := q.alive(); err != nil {
 		return 0, err
 	}
+	op := q.cfg.Begin(c, "rdma.faa")
 	if o := q.cfg.Inject(c, "rdma.faa"); o.Drop || o.Torn {
+		op.End(0)
 		return 0, o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
 	q.stats.Ops.Add(1)
 	q.stats.BytesOut.Add(8)
+	op.End(8)
 	return q.node.Mem.Add64(addr, delta)
 }
 
@@ -181,7 +202,9 @@ func (q *QP) Load64(c *sim.Clock, addr uint64) (uint64, error) {
 	if err := q.alive(); err != nil {
 		return 0, err
 	}
+	op := q.cfg.Begin(c, "rdma.read")
 	if o := q.cfg.Inject(c, "rdma.read"); o.Drop || o.Torn {
+		op.End(0)
 		return 0, o.FaultErr()
 	}
 	q.node.NIC.Charge(c, q.cfg.RDMA.Cost(8))
@@ -190,6 +213,7 @@ func (q *QP) Load64(c *sim.Clock, addr uint64) (uint64, error) {
 	if q.node.PM {
 		q.drainPending(c)
 	}
+	op.End(8)
 	return q.node.Mem.Load64(addr)
 }
 
@@ -209,7 +233,9 @@ func (q *QP) WriteBatch(c *sim.Clock, ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	obs := q.cfg.Begin(c, "rdma.write")
 	if o := q.cfg.Inject(c, "rdma.write"); o.Drop || o.Torn {
+		obs.End(0)
 		return o.FaultErr()
 	}
 	total := 0
@@ -221,12 +247,14 @@ func (q *QP) WriteBatch(c *sim.Clock, ops []WriteOp) error {
 	q.stats.BytesOut.Add(int64(total))
 	for _, op := range ops {
 		if err := q.node.Mem.Write(op.Addr, op.Data); err != nil {
+			obs.End(0)
 			return err
 		}
 		if q.node.PM {
 			q.node.pending.Add(int64(len(op.Data)))
 		}
 	}
+	obs.End(int64(total))
 	return nil
 }
 
@@ -237,11 +265,14 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 	if err := q.alive(); err != nil {
 		return nil, err
 	}
+	op := q.cfg.Begin(c, "rdma.call")
 	if o := q.cfg.Inject(c, "rdma.call"); o.Drop || o.Torn {
+		op.End(0)
 		return nil, o.FaultErr()
 	}
 	h, err := q.node.handler(name)
 	if err != nil {
+		op.End(0)
 		return nil, err
 	}
 	q.stats.RPCs.Add(1)
@@ -254,6 +285,7 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 	// charged with the request).
 	m := sim.LatencyModel{BytesPerSec: q.cfg.RDMARPC.BytesPerSec}
 	c.Advance(m.Cost(len(resp)))
+	op.End(int64(len(req) + len(resp)))
 	return resp, nil
 }
 
@@ -264,7 +296,9 @@ func (q *QP) CallPersist(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
 		return err
 	}
+	op := q.cfg.Begin(c, "rdma.call")
 	if o := q.cfg.Inject(c, "rdma.call"); o.Drop || o.Torn {
+		op.End(0)
 		return o.FaultErr()
 	}
 	q.stats.RPCs.Add(1)
@@ -272,11 +306,13 @@ func (q *QP) CallPersist(c *sim.Clock, addr uint64, p []byte) error {
 	q.node.NIC.Charge(c, q.cfg.RDMARPC.Cost(len(p)))
 	q.node.CPU.Charge(c, q.cfg.RemoteCPU)
 	if err := q.node.Mem.Write(addr, p); err != nil {
+		op.End(0)
 		return err
 	}
 	// Server-side flush: bandwidth-bound PM write (the base PM latency
 	// overlaps with composing the reply), no extra round trip.
 	drain := sim.LatencyModel{BytesPerSec: q.cfg.PMWrite.BytesPerSec}
 	q.node.CPU.Charge(c, drain.Cost(len(p)))
+	op.End(int64(len(p)))
 	return nil
 }

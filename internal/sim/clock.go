@@ -19,7 +19,9 @@ import (
 // Clock is a per-worker virtual clock. It is not safe for concurrent use;
 // each worker owns exactly one Clock.
 type Clock struct {
-	now time.Duration
+	now   time.Duration
+	epoch int64
+	trace *Trace
 }
 
 // NewClock returns a clock at virtual time zero.
@@ -45,8 +47,25 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 	}
 }
 
-// Reset rewinds the clock to zero.
-func (c *Clock) Reset() { c.now = 0 }
+// Reset rewinds the clock to zero and starts a new epoch. Meters notice
+// the epoch change on the next Charge and roll their accumulated demand
+// forward, so a phase reset cannot manufacture a spurious utilization
+// spike (busy time from the old epoch divided by a rewound clock).
+func (c *Clock) Reset() {
+	c.now = 0
+	c.epoch++
+}
+
+// Epoch reports the clock's reset generation (0 for a fresh clock).
+func (c *Clock) Epoch() int64 { return c.epoch }
+
+// SetTrace attaches a span tree to the clock: subsequent instrumented
+// operations on this clock record nested spans into t. Pass nil to detach.
+// A Trace must not be shared between clocks.
+func (c *Clock) SetTrace(t *Trace) { c.trace = t }
+
+// Trace returns the attached trace, if any.
+func (c *Clock) Trace() *Trace { return c.trace }
 
 func (c *Clock) String() string {
 	return fmt.Sprintf("sim.Clock(%v)", c.now)

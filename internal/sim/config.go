@@ -52,6 +52,22 @@ type Config struct {
 	// inject drops, latency spikes, duplicate deliveries, and torn
 	// appends. See internal/sim/fault for the seeded implementation.
 	Fault FaultInjector
+	// Stats, when non-nil, receives a per-site latency/byte observation
+	// from every instrumented substrate operation (via Begin/Op.End), and
+	// substrate constructors register their contention meters with it.
+	Stats *Registry
+	// Trace asks experiments to record a virtual-time span tree for one
+	// representative operation (disagg-bench -trace). Substrates don't
+	// read it; they trace whenever the worker's clock has a Trace
+	// attached.
+	Trace bool
+}
+
+// RegisterMeter registers m with the attached stats registry, if any.
+func (c *Config) RegisterMeter(site string, m *Meter) {
+	if c.Stats != nil {
+		c.Stats.RegisterMeter(site, m)
+	}
 }
 
 // DefaultConfig returns the calibration described in DESIGN.md:

@@ -26,6 +26,7 @@ type Meter struct {
 	maxPenalty float64
 	totalOps   atomic.Int64
 	queuedOps  atomic.Int64
+	epoch      atomic.Int64 // latest clock epoch seen (see Charge)
 }
 
 // NewMeter returns a meter with the given number of service slots.
@@ -46,6 +47,16 @@ func (m *Meter) Capacity() int { return int(m.capacity) }
 func (m *Meter) Charge(c *Clock, d time.Duration) time.Duration {
 	if d <= 0 {
 		return 0
+	}
+	// Epoch guard: a worker whose clock was Reset for a new experiment
+	// phase arrives with a rewound elapsed time. Dividing the old epoch's
+	// accumulated demand by the new epoch's tiny elapsed time would read
+	// as a max-penalty utilization spike, so when a newer epoch first
+	// touches the meter the accumulated demand rolls forward to zero.
+	if e := c.epoch; e > m.epoch.Load() {
+		if old := m.epoch.Load(); e > old && m.epoch.CompareAndSwap(old, e) {
+			m.busy.Store(0)
+		}
 	}
 	m.totalOps.Add(1)
 	// Utilization is computed over *charged* (stretched) time on both
@@ -73,6 +84,19 @@ func (m *Meter) Charge(c *Clock, d time.Duration) time.Duration {
 
 // Busy reports the total virtual busy time demanded so far.
 func (m *Meter) Busy() time.Duration { return time.Duration(m.busy.Load()) }
+
+// TotalOps reports the number of operations charged.
+func (m *Meter) TotalOps() int64 { return m.totalOps.Load() }
+
+// Utilization reports ρ = busy / (capacity × elapsed) against an external
+// elapsed-time reference (e.g. the experiment's virtual makespan). Values
+// above 1 mean the resource was oversubscribed.
+func (m *Meter) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.busy.Load()) / float64(m.capacity) / float64(elapsed)
+}
 
 // QueuedFraction reports the fraction of charged operations that observed
 // queueing, a cheap congestion signal for adaptive policies (e.g. Redy's

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/disagglab/disagg/internal/metrics"
+)
+
+// SiteStats aggregates all observed operations at one site: a log-bucketed
+// latency histogram plus a byte counter. Safe for concurrent use.
+type SiteStats struct {
+	Hist  *metrics.Hist
+	bytes atomic.Int64
+}
+
+// Bytes reports the total payload observed at the site.
+func (s *SiteStats) Bytes() int64 { return s.bytes.Load() }
+
+// MeterEntry associates a contention meter with a site-style name so the
+// registry can report utilization and queueing alongside latency sites.
+type MeterEntry struct {
+	Site string
+	M    *Meter
+}
+
+// Registry is the process-wide telemetry sink: per-site latency histograms
+// and byte counters fed by Config.Begin/Op.End, plus registered contention
+// meters. One registry is shared by every worker in an experiment; it is
+// safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	sites map[string]*SiteStats
+
+	mmu    sync.Mutex
+	meters []MeterEntry
+
+	maxEnd atomic.Int64 // latest virtual end time observed (elapsed proxy)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sites: make(map[string]*SiteStats)}
+}
+
+// Observe records one finished operation: d of virtual latency and bytes
+// of payload at site, ending at virtual time end on the worker's clock.
+func (r *Registry) Observe(site string, d time.Duration, bytes int64, end time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	s := r.sites[site]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		s = r.sites[site]
+		if s == nil {
+			s = &SiteStats{Hist: metrics.NewHist()}
+			r.sites[site] = s
+		}
+		r.mu.Unlock()
+	}
+	s.Hist.Record(d)
+	s.bytes.Add(bytes)
+	for {
+		cur := r.maxEnd.Load()
+		if int64(end) <= cur || r.maxEnd.CompareAndSwap(cur, int64(end)) {
+			break
+		}
+	}
+}
+
+// RegisterMeter attaches a contention meter under a site-style name;
+// utilization and queueing for it appear in Table. Constructors call this
+// through Config.RegisterMeter when a registry is attached.
+func (r *Registry) RegisterMeter(site string, m *Meter) {
+	if r == nil || m == nil {
+		return
+	}
+	r.mmu.Lock()
+	r.meters = append(r.meters, MeterEntry{Site: site, M: m})
+	r.mmu.Unlock()
+}
+
+// Site returns the stats for one site, or nil if nothing was observed.
+func (r *Registry) Site(site string) *SiteStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sites[site]
+}
+
+// Sites returns the observed site names, sorted.
+func (r *Registry) Sites() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]string, 0, len(r.sites))
+	for s := range r.sites {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Elapsed reports the latest virtual end time any observation carried —
+// the registry's proxy for the experiment's virtual makespan, used as the
+// denominator for meter utilization.
+func (r *Registry) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.maxEnd.Load())
+}
+
+// Table renders the registry as one experiment-style table: a row per
+// observed site (count, p50, p99, max, bytes) followed by a row per
+// registered meter (ops, utilization ρ, queued fraction).
+func (r *Registry) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "site", "count", "p50", "p99", "max", "bytes", "ρ", "queued%")
+	if r == nil {
+		return t
+	}
+	for _, site := range r.Sites() {
+		s := r.Site(site)
+		t.Row(site, s.Hist.Count(), s.Hist.Quantile(0.50), s.Hist.Quantile(0.99),
+			s.Hist.Max(), metrics.FormatBytes(s.Bytes()), "-", "-")
+	}
+	elapsed := r.Elapsed()
+	r.mmu.Lock()
+	meters := append([]MeterEntry(nil), r.meters...)
+	r.mmu.Unlock()
+	for _, e := range meters {
+		if e.M.TotalOps() == 0 {
+			continue
+		}
+		t.Row(e.Site, e.M.TotalOps(), "-", "-", "-", "-",
+			fmt.Sprintf("%.2f", e.M.Utilization(elapsed)),
+			fmt.Sprintf("%.0f%%", 100*e.M.QueuedFraction()))
+	}
+	return t
+}
+
+func (r *Registry) String() string { return r.Table("per-site telemetry").String() }

@@ -67,8 +67,10 @@ func (ls *LogStore) Restart() {
 // crash-point-mid-WAL-append case engines must treat as an unacknowledged
 // commit.
 func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
+	op := ls.cfg.Begin(c, "logstore.append")
 	f := ls.cfg.Inject(c, "logstore.append")
 	if f.Drop {
+		op.End(0)
 		return f.FaultErr()
 	}
 	persistRecs := recs
@@ -92,6 +94,7 @@ func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
 	}
 	ls.mu.Unlock()
 	if f.Torn {
+		op.End(int64(encodedSize(persistRecs)))
 		return f.FaultErr()
 	}
 
@@ -106,6 +109,7 @@ func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
 		persist = ls.cfg.TCP.Cost(n) + ls.cfg.SSDWrite.Cost(n)
 	}
 	ls.meter.Charge(c, persist)
+	op.End(int64(n))
 	return nil
 }
 
@@ -113,12 +117,15 @@ func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
 // maintains per-page log chains (as PilotDB's PM layer does), so only the
 // relevant records cross the network.
 func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal.Record, error) {
+	op := ls.cfg.Begin(c, "logstore.read")
 	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
+		op.End(0)
 		return nil, f.FaultErr()
 	}
 	ls.mu.Lock()
 	if ls.failed {
 		ls.mu.Unlock()
+		op.End(0)
 		return nil, ErrReplicaDown
 	}
 	var out []wal.Record
@@ -137,6 +144,7 @@ func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal
 		read = ls.cfg.TCP.Cost(n) + ls.cfg.SSDRead.Cost(n)
 	}
 	ls.meter.Charge(c, read)
+	op.End(int64(n))
 	return out, nil
 }
 
@@ -157,12 +165,15 @@ func (ls *LogStore) Len() int {
 // Since returns records with LSN > after (replay on recovery), charging
 // network transfer for the shipped bytes.
 func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
+	op := ls.cfg.Begin(c, "logstore.read")
 	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
+		op.End(0)
 		return nil, f.FaultErr()
 	}
 	ls.mu.Lock()
 	if ls.failed {
 		ls.mu.Unlock()
+		op.End(0)
 		return nil, ErrReplicaDown
 	}
 	var out []wal.Record
@@ -181,6 +192,7 @@ func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
 		read = ls.cfg.TCP.Cost(n) + ls.cfg.SSDRead.Cost(n)
 	}
 	ls.meter.Charge(c, read)
+	op.End(int64(n))
 	return out, nil
 }
 
@@ -207,6 +219,7 @@ func NewLogStoreGroup(cfg *sim.Config, n, quorum int, medium Medium) *LogStoreGr
 // by the quorum-th fastest store's persist latency (appends fan out in
 // parallel).
 func (g *LogStoreGroup) Append(c *sim.Clock, recs []wal.Record) error {
+	op := g.cfg.Begin(c, "logstore.quorum")
 	var lats []time.Duration
 	for _, ls := range g.Stores {
 		probe := sim.NewClock()
@@ -216,10 +229,12 @@ func (g *LogStoreGroup) Append(c *sim.Clock, recs []wal.Record) error {
 		lats = append(lats, probe.Now())
 	}
 	if len(lats) < g.Quorum {
+		op.End(0)
 		return ErrNoQuorum
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	g.meter.Charge(c, lats[g.Quorum-1])
+	op.End(int64(encodedSize(recs)))
 	return nil
 }
 

@@ -177,8 +177,10 @@ func (r *Replica) PrefixLSN() wal.LSN {
 // tear it (a prefix lands, the rest is lost, caller sees an error), or
 // duplicate it (absorbed — ingest dedups by LSN).
 func (r *Replica) Ingest(c *sim.Clock, recs []wal.Record) error {
+	op := r.cfg.Begin(c, "replica.ingest")
 	f := r.cfg.Inject(c, "replica.ingest")
 	if f.Drop {
+		op.End(0)
 		return f.FaultErr()
 	}
 	deliver := recs
@@ -188,11 +190,13 @@ func (r *Replica) Ingest(c *sim.Clock, recs []wal.Record) error {
 	n := encodedSize(deliver)
 	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
 	if !r.ingest(deliver) {
+		op.End(0)
 		return ErrReplicaDown
 	}
 	if f.Duplicate {
 		r.ingest(deliver) // repeat delivery; LSN dedup absorbs it
 	}
+	op.End(int64(n))
 	if f.Torn {
 		return f.FaultErr()
 	}
@@ -259,21 +263,26 @@ func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
 // network round trip and materialization. It fails on crashed replicas and
 // on replicas that have not received log up to minLSN (stale gossip copy).
 func (r *Replica) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, error) {
+	op := r.cfg.Begin(c, "replica.read")
 	if f := r.cfg.Inject(c, "replica.read"); f.Drop || f.Torn {
+		op.End(0)
 		return nil, f.FaultErr()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failed {
+		op.End(0)
 		return nil, ErrReplicaDown
 	}
 	data := r.materializeLocked(c, id)
 	// Fresh enough if the log prefix covers minLSN, or the materialized
 	// page itself is already at minLSN (e.g. installed via WritePage).
 	if r.prefixLSN < minLSN && wal.LSN(page.Wrap(data).LSN()) < minLSN {
+		op.End(0)
 		return nil, ErrStaleReplica
 	}
 	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(len(data)))
+	op.End(int64(len(data)))
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
@@ -282,15 +291,19 @@ func (r *Replica) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]byte, er
 // WritePage installs a full page image (page-shipping path used by PolarDB
 // alongside log shipping, and by checkpointers).
 func (r *Replica) WritePage(c *sim.Clock, id page.ID, data []byte) error {
+	op := r.cfg.Begin(c, "replica.write")
 	if f := r.cfg.Inject(c, "replica.write"); f.Drop || f.Torn {
+		op.End(0)
 		return f.FaultErr()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failed {
+		op.End(0)
 		return ErrReplicaDown
 	}
 	r.nic.Charge(c, sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(len(data)))
+	op.End(int64(len(data)))
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	r.pages[id] = cp

@@ -84,7 +84,9 @@ func (v *Volume) ReadAvailable() bool { return v.Alive() >= v.ReadQ }
 // succeeds if W deliveries land whole, else the caller sees the fault (an
 // unacknowledged commit whose records may survive on some replicas).
 func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
+	op := v.cfg.Begin(c, "volume.append")
 	if !v.WriteAvailable() {
+		op.End(0)
 		return ErrNoQuorum
 	}
 	n := encodedSize(recs)
@@ -116,6 +118,7 @@ func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
 		acks = append(acks, r.netCost(n))
 	}
 	if len(acks) < v.WriteQ {
+		op.End(0)
 		if faultErr != nil {
 			return faultErr
 		}
@@ -124,6 +127,7 @@ func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
 	sort.Float64s(acks)
 	quorumLat := time.Duration(acks[v.WriteQ-1])
 	v.meter.Charge(c, quorumLat)
+	op.End(int64(n))
 	return nil
 }
 
