@@ -68,6 +68,7 @@ func BenchmarkE20MultiWriter(b *testing.B)        { benchExperiment(b, "E20") }
 func BenchmarkE21Autoscaling(b *testing.B)        { benchExperiment(b, "E21") }
 func BenchmarkE22HTAP(b *testing.B)               { benchExperiment(b, "E22") }
 func BenchmarkE23FlexChain(b *testing.B)          { benchExperiment(b, "E23") }
+func BenchmarkE24GroupCommit(b *testing.B)        { benchExperiment(b, "E24") }
 
 // ---- Micro-benchmarks: substrate hot paths ----
 
@@ -119,7 +120,7 @@ func benchEngineCommit(b *testing.B, e engine.Engine, layout heap.Layout) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := uint64(i % 10_000)
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
 			b.Fatal(err)
 		}
 	}

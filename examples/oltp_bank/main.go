@@ -48,7 +48,7 @@ func runBank(cfg *sim.Config, layout heap.Layout, e engine.Engine, table *metric
 	seed := sim.NewClock()
 	for a := uint64(0); a < accounts; a++ {
 		a := a
-		if err := e.Execute(seed, func(tx engine.Tx) error {
+		if err := engine.Run(e, seed, engine.RunOpts{}, func(tx engine.Tx) error {
 			return tx.Write(a, cents(initialCents))
 		}); err != nil {
 			log.Fatal(err)
@@ -72,7 +72,7 @@ func runBank(cfg *sim.Config, layout heap.Layout, e engine.Engine, table *metric
 				continue
 			}
 			amount := int64(r.Int63n(50_00))
-			err := engine.RunClosed(e, c, 10, func(tx engine.Tx) error {
+			err := engine.Run(e, c, engine.RunOpts{Retries: 10}, func(tx engine.Tx) error {
 				fb, err := tx.Read(from)
 				if err != nil {
 					return err
@@ -102,7 +102,7 @@ func runBank(cfg *sim.Config, layout heap.Layout, e engine.Engine, table *metric
 	check := sim.NewClock()
 	for a := uint64(0); a < accounts; a++ {
 		a := a
-		e.Execute(check, func(tx engine.Tx) error {
+		engine.Run(e, check, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(a)
 			if err != nil {
 				return err

@@ -27,7 +27,7 @@ func main() {
 	// 1. Commit a few transactions.
 	for i := uint64(1); i <= 100; i++ {
 		i := i
-		err := db.Execute(clock, func(tx engine.Tx) error {
+		err := engine.Run(db, clock, engine.RunOpts{}, func(tx engine.Tx) error {
 			val := make([]byte, layout.ValSize)
 			binary.LittleEndian.PutUint64(val, i*i)
 			return tx.Write(i, val)
@@ -57,7 +57,7 @@ func main() {
 	// 3. Kill an entire availability zone: writes keep flowing (4/6
 	// write quorum).
 	db.Volume.FailAZ(2)
-	err = db.Execute(clock, func(tx engine.Tx) error {
+	err = engine.Run(db, clock, engine.RunOpts{}, func(tx engine.Tx) error {
 		return tx.Write(101, make([]byte, layout.ValSize))
 	})
 	fmt.Printf("write with one AZ down: %v\n", errString(err))
@@ -73,7 +73,7 @@ func main() {
 	fmt.Printf("compute-node recovery took %v (a quorum LSN poll, not a log replay)\n", d)
 
 	// 5. Everything is still there.
-	err = db.Execute(clock, func(tx engine.Tx) error {
+	err = engine.Run(db, clock, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(100)
 		if err != nil {
 			return err

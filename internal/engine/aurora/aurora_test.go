@@ -21,7 +21,7 @@ func TestOnlyLogsShipped(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 50; i++ {
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -42,7 +42,7 @@ func TestReaderReplicaSeesCommittedData(t *testing.T) {
 	c := sim.NewClock()
 	want := make([]byte, layout.ValSize)
 	binary.LittleEndian.PutUint64(want, 4242)
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(7, want) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(7, want) }); err != nil {
 		t.Fatal(err)
 	}
 	for idx := 0; idx < 2; idx++ {
@@ -72,18 +72,18 @@ func TestSurvivesAZFailure(t *testing.T) {
 	e := New(sim.DefaultConfig(), layout, 64, 0)
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
-	e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) })
+	engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(1, val) })
 	e.Volume.FailAZ(0)
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(2, val) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(2, val) }); err != nil {
 		t.Fatalf("write quorum should survive AZ loss: %v", err)
 	}
 	// One more node: writes must stop, reads continue.
 	e.Volume.Replicas[2].Fail()
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(3, val) }); err != engine.ErrUnavailable {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(3, val) }); err != engine.ErrUnavailable {
 		t.Fatalf("write with 3/6 alive: %v", err)
 	}
 	e.Pool().InvalidateAll() // force a storage read
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		_, err := tx.Read(1)
 		return err
 	}); err != nil {
@@ -97,7 +97,7 @@ func TestRecoveryIsNearInstant(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 200; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Crash()
 	rc := sim.NewClock()

@@ -49,6 +49,16 @@ type Reader interface {
 	ReadReplica(c *sim.Clock, idx int, fn func(tx Tx) error) error
 }
 
+// GroupCommitter is implemented by engines whose commit path can ride a
+// shared group flush (sim.Batcher): concurrent committers are combined
+// into one replicated log append and wake with the same durable LSN.
+type GroupCommitter interface {
+	// EnableGroupCommit turns on commit batching: flushes trigger at
+	// maxItems riders or after the virtual window, whichever first.
+	// maxItems <= 1 keeps the direct per-commit path.
+	EnableGroupCommit(maxItems int, window time.Duration)
+}
+
 // Common engine errors.
 var (
 	ErrConflict    = errors.New("engine: transaction conflict")
@@ -68,6 +78,11 @@ type Stats struct {
 	StorageOps  atomic.Int64
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+	// Group-commit counters (zero unless EnableGroupCommit was called).
+	GroupCommits   atomic.Int64 // commits that rode a shared flush
+	GroupFlushes   atomic.Int64 // combined flushes issued
+	FlushOnSize    atomic.Int64 // flushes triggered by a full batch
+	FlushOnTimeout atomic.Int64 // flushes triggered by the virtual window
 }
 
 // Reset zeroes every counter.
@@ -81,6 +96,10 @@ func (s *Stats) Reset() {
 	s.StorageOps.Store(0)
 	s.CacheHits.Store(0)
 	s.CacheMisses.Store(0)
+	s.GroupCommits.Store(0)
+	s.GroupFlushes.Store(0)
+	s.FlushOnSize.Store(0)
+	s.FlushOnTimeout.Store(0)
 }
 
 // BytesPerCommit reports average network bytes per committed transaction —
@@ -93,15 +112,50 @@ func (s *Stats) BytesPerCommit() float64 {
 	return float64(s.NetBytes.Load()) / float64(c)
 }
 
-// RunClosed executes fn with automatic retry on conflicts, up to retries
-// attempts; other errors pass through.
-func RunClosed(e Engine, c *sim.Clock, retries int, fn func(tx Tx) error) error {
+// RunOpts controls how Run executes a transaction. The zero value means
+// "one attempt on the primary", so Run(e, c, RunOpts{}, fn) is exactly
+// e.Execute(c, fn).
+type RunOpts struct {
+	// Retries is the number of automatic re-executions after ErrConflict
+	// (so the transaction runs at most Retries+1 times). Other errors
+	// pass through immediately.
+	Retries int
+	// Replica, when > 0, runs the transaction read-only on read replica
+	// Replica-1 (the engine must implement Reader). 0 targets the
+	// primary.
+	Replica int
+}
+
+// Run executes fn as one transaction on e per opts. It is the single
+// entry point workloads, experiments, and the conformance suite use; the
+// legacy Execute/RunClosed pair remains only as a shim.
+func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
+	exec := e.Execute
+	if opts.Replica > 0 {
+		r, ok := e.(Reader)
+		if !ok {
+			return ErrUnavailable
+		}
+		idx := opts.Replica - 1
+		exec = func(c *sim.Clock, fn func(tx Tx) error) error {
+			return r.ReadReplica(c, idx, fn)
+		}
+	}
 	var err error
-	for i := 0; i <= retries; i++ {
-		err = e.Execute(c, fn)
+	for i := 0; i <= opts.Retries; i++ {
+		err = exec(c, fn)
 		if !errors.Is(err, ErrConflict) {
 			return err
 		}
 	}
 	return err
+}
+
+// RunClosed executes fn with automatic retry on conflicts, up to retries
+// attempts; other errors pass through.
+//
+// Deprecated: use Run(e, c, RunOpts{Retries: retries}, fn). Kept for one
+// PR so out-of-tree callers can migrate.
+func RunClosed(e Engine, c *sim.Clock, retries int, fn func(tx Tx) error) error {
+	return Run(e, c, RunOpts{Retries: retries}, fn)
 }

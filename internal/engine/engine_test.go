@@ -2,15 +2,18 @@ package engine
 
 import (
 	"errors"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"github.com/disagglab/disagg/internal/sim"
 )
 
 type flakyEngine struct {
-	failures int
-	calls    int
-	stats    Stats
+	failures     int
+	calls        int
+	replicaCalls []int
+	stats        Stats
 }
 
 func (f *flakyEngine) Name() string  { return "flaky" }
@@ -34,9 +37,17 @@ func (f *flakyEngine) Execute(c *sim.Clock, fn func(tx Tx) error) error {
 	return nil
 }
 
-func TestRunClosedRetriesConflicts(t *testing.T) {
+// flakyReader adds read replicas to flakyEngine.
+type flakyReader struct{ flakyEngine }
+
+func (f *flakyReader) ReadReplica(c *sim.Clock, idx int, fn func(tx Tx) error) error {
+	f.replicaCalls = append(f.replicaCalls, idx)
+	return fn(nopTx{})
+}
+
+func TestRunRetriesConflicts(t *testing.T) {
 	e := &flakyEngine{failures: 2}
-	err := RunClosed(e, sim.NewClock(), 3, func(tx Tx) error { return nil })
+	err := Run(e, sim.NewClock(), RunOpts{Retries: 3}, func(tx Tx) error { return nil })
 	if err != nil {
 		t.Fatalf("err = %v", err)
 	}
@@ -45,23 +56,66 @@ func TestRunClosedRetriesConflicts(t *testing.T) {
 	}
 }
 
-func TestRunClosedGivesUp(t *testing.T) {
+func TestRunGivesUp(t *testing.T) {
 	e := &flakyEngine{failures: 100}
-	err := RunClosed(e, sim.NewClock(), 2, func(tx Tx) error { return nil })
+	err := Run(e, sim.NewClock(), RunOpts{Retries: 2}, func(tx Tx) error { return nil })
 	if !errors.Is(err, ErrConflict) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
-func TestRunClosedPassesThroughOtherErrors(t *testing.T) {
+func TestRunPassesThroughOtherErrors(t *testing.T) {
 	e := &flakyEngine{}
 	boom := errors.New("boom")
-	err := RunClosed(e, sim.NewClock(), 5, func(tx Tx) error { return boom })
+	err := Run(e, sim.NewClock(), RunOpts{Retries: 5}, func(tx Tx) error { return boom })
 	if err != boom {
 		t.Fatalf("err = %v", err)
 	}
 	if e.calls != 1 {
 		t.Fatalf("calls = %d, want 1 (no retry on app error)", e.calls)
+	}
+}
+
+func TestRunZeroOptsIsExecute(t *testing.T) {
+	e := &flakyEngine{failures: 1}
+	err := Run(e, sim.NewClock(), RunOpts{}, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want single-attempt conflict", err)
+	}
+	if e.calls != 1 {
+		t.Fatalf("calls = %d, want 1", e.calls)
+	}
+}
+
+func TestRunRoutesToReplica(t *testing.T) {
+	e := &flakyReader{}
+	err := Run(e, sim.NewClock(), RunOpts{Replica: 2}, func(tx Tx) error { return nil })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if e.calls != 0 {
+		t.Fatal("replica run must not touch the primary")
+	}
+	if len(e.replicaCalls) != 1 || e.replicaCalls[0] != 1 {
+		t.Fatalf("replica calls = %v, want [1] (Replica is 1-based)", e.replicaCalls)
+	}
+}
+
+func TestRunReplicaOnNonReader(t *testing.T) {
+	e := &flakyEngine{}
+	err := Run(e, sim.NewClock(), RunOpts{Replica: 1}, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRunClosedShimDelegates(t *testing.T) {
+	e := &flakyEngine{failures: 2}
+	if err := RunClosed(e, sim.NewClock(), 3, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if e.calls != 3 {
+		t.Fatalf("calls = %d, want 3", e.calls)
 	}
 }
 
@@ -78,5 +132,27 @@ func TestStatsBytesPerCommit(t *testing.T) {
 	s.Reset()
 	if s.Commits.Load() != 0 || s.NetBytes.Load() != 0 {
 		t.Fatal("reset failed")
+	}
+}
+
+// TestStatsResetZeroesEveryField walks Stats by reflection so a counter
+// added without a matching Reset line fails here instead of silently
+// leaking values across experiment phases.
+func TestStatsResetZeroesEveryField(t *testing.T) {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		ctr, ok := v.Field(i).Addr().Interface().(*atomic.Int64)
+		if !ok {
+			t.Fatalf("Stats.%s is %s, not atomic.Int64; extend Reset and this test", f.Name, f.Type)
+		}
+		ctr.Store(int64(i) + 1)
+	}
+	s.Reset()
+	for i := 0; i < v.NumField(); i++ {
+		if got := v.Field(i).Addr().Interface().(*atomic.Int64).Load(); got != 0 {
+			t.Errorf("Stats.Reset left %s = %d", v.Type().Field(i).Name, got)
+		}
 	}
 }

@@ -30,7 +30,7 @@ func RunChaos(t *testing.T, factory func(t *testing.T) engine.Engine) {
 			key := (gen%3)*10 + i
 			v := make([]byte, layout.ValSize)
 			binary.LittleEndian.PutUint64(v, gen)
-			if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(key, v) }); err != nil {
+			if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(key, v) }); err != nil {
 				t.Fatalf("gen %d key %d: %v", gen, key, err)
 			}
 			written[key] = gen
@@ -39,7 +39,7 @@ func RunChaos(t *testing.T, factory func(t *testing.T) engine.Engine) {
 	verifyAll := func(after string) {
 		for key, gen := range written {
 			key, gen := key, gen
-			err := e.Execute(c, func(tx engine.Tx) error {
+			err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				v, err := tx.Read(key)
 				if err != nil {
 					return err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/engine/monolithic"
@@ -175,7 +176,7 @@ func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *co
 				st.issued++
 				seq := st.issued
 				v := confVal(layout, key, uint64(id), seq)
-				err := engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+				err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
 					return tx.Write(key, v)
 				})
 				if err != nil {
@@ -195,7 +196,7 @@ func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *co
 				continue
 			}
 			var got []byte
-			err := engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+			err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
 				v, err := tx.Read(key)
 				if err != nil {
 					return err
@@ -227,7 +228,7 @@ func verifyFinalState(e engine.Engine, res *conformanceResult) []string {
 		var err error
 		for attempt := 0; attempt < 3; attempt++ {
 			k := key
-			err = engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+			err = engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
 				v, rerr := tx.Read(k)
 				if rerr != nil {
 					return rerr
@@ -327,32 +328,194 @@ func RunConformance(t *testing.T, factory Factory) {
 	for _, p := range fault.Profiles() {
 		p := p
 		t.Run("Fault/"+p.Name, func(t *testing.T) {
-			layout := Layout(t)
-			inj := fault.New(seed, p)
-			cfg := sim.DefaultConfig()
-			cfg.Fault = inj
-			// Per-site telemetry shares the fault injector's site labels;
-			// on an invariant failure the table shows where latency and
-			// bytes went under this profile.
-			cfg.Stats = sim.NewRegistry()
-			e := factory(t, cfg)
-			res := runConformanceWorkload(e, layout, seed)
-			// Verification runs on a healed fabric: the invariants are
-			// about what the engine acknowledged, not about reads racing
-			// live faults.
-			inj.Heal()
-			t.Logf("profile %s: commits=%d writeErrs=%d readErrs=%d faults={drops=%d dups=%d tears=%d delays=%d}",
-				p.Name, res.commits, res.writeErrs, res.readErrs,
-				inj.Drops.Load(), inj.Dups.Load(), inj.Tears.Load(), inj.Delays.Load())
-			if res.commits == 0 {
-				t.Errorf("no transaction committed under profile %q (seed %d): fault rates starve the workload", p.Name, seed)
-			}
-			reportViolations(t, seed, p.Name, verifyFinalState(e, res))
-			crashRecoverVerify(t, e, res, seed, p.Name)
-			if t.Failed() {
-				t.Logf("per-site telemetry under profile %q:\n%s", p.Name, cfg.Stats.String())
-			}
+			runFaultProfile(t, factory, p, seed, false)
 		})
+	}
+
+	// Batched variants: engines supporting group commit re-run the seeded
+	// suite with batching enabled, so fault replays also cover grouped
+	// flushes (one substrate fault decision shared by every rider).
+	if _, ok := factory(t, sim.DefaultConfig()).(engine.GroupCommitter); !ok {
+		return
+	}
+	t.Run("Batched/Semantics", func(t *testing.T) {
+		Run(t, func(t *testing.T) engine.Engine { return batched(factory(t, sim.DefaultConfig())) })
+	})
+	t.Run("Batched/Chaos", func(t *testing.T) {
+		RunChaos(t, func(t *testing.T) engine.Engine { return batched(factory(t, sim.DefaultConfig())) })
+	})
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Batched/Fault/"+p.Name, func(t *testing.T) {
+			runFaultProfile(t, factory, p, seed, true)
+		})
+	}
+	t.Run("Batched/TimeoutFlushDurable", func(t *testing.T) {
+		timeoutFlushDurable(t, factory)
+	})
+	t.Run("Batched/FlushFailureNotAcked", func(t *testing.T) {
+		flushFailureNotAcked(t, factory, seed, fault.Profile{Name: "kill-appends", Drop: 1, Sites: fault.AppendSites})
+	})
+	t.Run("Batched/TornGroupFlush", func(t *testing.T) {
+		flushFailureNotAcked(t, factory, seed, fault.Profile{Name: "torn-group", Torn: 1, Sites: fault.AppendSites})
+	})
+}
+
+// Group-commit parameters for the batched suite variants. MaxItems equals
+// confWorkers so seeded runs see both full-group (size) flushes and
+// timeout flushes when stragglers leave groups partially filled.
+const (
+	batchGroupSize = confWorkers
+	batchWindow    = 50 * time.Microsecond
+)
+
+// batched enables group commit on an engine built by a conformance
+// factory. Callers have already checked the engine is a GroupCommitter.
+func batched(e engine.Engine) engine.Engine {
+	e.(engine.GroupCommitter).EnableGroupCommit(batchGroupSize, batchWindow)
+	return e
+}
+
+// runFaultProfile drives one seeded chaos workload under the profile,
+// verifies invariants on a healed fabric, and drills crash/recovery —
+// with or without group commit enabled.
+func runFaultProfile(t *testing.T, factory Factory, p fault.Profile, seed int64, batch bool) {
+	t.Helper()
+	layout := Layout(t)
+	inj := fault.New(seed, p)
+	cfg := sim.DefaultConfig()
+	cfg.Fault = inj
+	// Per-site telemetry shares the fault injector's site labels;
+	// on an invariant failure the table shows where latency and
+	// bytes went under this profile.
+	cfg.Stats = sim.NewRegistry()
+	e := factory(t, cfg)
+	label := p.Name
+	if batch {
+		e = batched(e)
+		label = "batched/" + p.Name
+	}
+	res := runConformanceWorkload(e, layout, seed)
+	// Verification runs on a healed fabric: the invariants are
+	// about what the engine acknowledged, not about reads racing
+	// live faults.
+	inj.Heal()
+	t.Logf("profile %s: commits=%d writeErrs=%d readErrs=%d faults={drops=%d dups=%d tears=%d delays=%d}",
+		label, res.commits, res.writeErrs, res.readErrs,
+		inj.Drops.Load(), inj.Dups.Load(), inj.Tears.Load(), inj.Delays.Load())
+	if res.commits == 0 {
+		t.Errorf("no transaction committed under profile %q (seed %d): fault rates starve the workload", label, seed)
+	}
+	reportViolations(t, seed, label, verifyFinalState(e, res))
+	crashRecoverVerify(t, e, res, seed, label)
+	if t.Failed() {
+		t.Logf("per-site telemetry under profile %q:\n%s", label, cfg.Stats.String())
+	}
+}
+
+// timeoutFlushDurable is the flush-on-timeout regression: a lone commit
+// can never fill a group, so it must be released by the window — charged
+// as real commit latency — and still be durable across crash/recovery.
+func timeoutFlushDurable(t *testing.T, factory Factory) {
+	t.Helper()
+	layout := Layout(t)
+	e := batched(factory(t, sim.DefaultConfig()))
+	c := sim.NewClock()
+	key := uint64(confKeyBase)
+	want := confVal(layout, key, 0, 1)
+	if err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
+		return tx.Write(key, want)
+	}); err != nil {
+		t.Fatalf("lone batched commit: %v", err)
+	}
+	if got := e.Stats().FlushOnTimeout.Load(); got == 0 {
+		t.Error("lone commit was not released by a timeout flush")
+	}
+	if e.Stats().GroupCommits.Load() == 0 {
+		t.Error("commit did not ride the group-commit path")
+	}
+	if c.Now() < batchWindow {
+		t.Errorf("commit latency %v does not include the %v batching window", c.Now(), batchWindow)
+	}
+	if r, ok := e.(engine.Recoverer); ok {
+		r.Crash()
+		if _, err := r.Recover(sim.NewClock()); err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+	}
+	var got []byte
+	if err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
+		v, err := tx.Read(key)
+		if err != nil {
+			return err
+		}
+		got = v
+		return nil
+	}); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("timeout-flushed commit lost: got %x", got[:16])
+	}
+}
+
+// flushFailureNotAcked is the flush-on-crash / torn-group-flush
+// regression: with every durable append failing (dropped or torn
+// mid-batch), no rider in any group may be acknowledged — a group flush
+// either commits for all riders or errors for all. After healing, the
+// engine must make progress again and fresh commits must survive
+// crash/recovery.
+func flushFailureNotAcked(t *testing.T, factory Factory, seed int64, p fault.Profile) {
+	t.Helper()
+	layout := Layout(t)
+	inj := fault.New(seed, p)
+	cfg := sim.DefaultConfig()
+	cfg.Fault = inj
+	e := batched(factory(t, cfg))
+	res := runConformanceWorkload(e, layout, seed)
+	if res.commits != 0 {
+		t.Errorf("%d commit(s) acked while every durable append failed (profile %q)", res.commits, p.Name)
+	}
+	if res.writeErrs == 0 {
+		t.Fatal("workload issued no writes — the regression is vacuous")
+	}
+	// Read-only transactions also count as Commits, so the write-path
+	// check is on GroupCommits: no rider may have cleared a failed flush.
+	if got := e.Stats().GroupCommits.Load(); got != 0 {
+		t.Errorf("engine counted %d group commits under total append failure", got)
+	}
+	// Healed: nothing may surface as acked-but-lost or torn.
+	inj.Heal()
+	reportViolations(t, seed, "batched/"+p.Name, verifyFinalState(e, res))
+	// The engine must still accept commits on the healed fabric...
+	c := sim.NewClock()
+	key := uint64(confKeyBase - 1)
+	want := confVal(layout, key, 0, 1)
+	if err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
+		return tx.Write(key, want)
+	}); err != nil {
+		t.Fatalf("healed engine cannot commit: %v", err)
+	}
+	// ...and those commits must be genuinely durable.
+	if r, ok := e.(engine.Recoverer); ok {
+		r.Crash()
+		if _, err := r.Recover(sim.NewClock()); err != nil {
+			t.Fatalf("recovery after healing: %v", err)
+		}
+	}
+	var got []byte
+	if err := engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
+		v, err := tx.Read(key)
+		if err != nil {
+			return err
+		}
+		got = v
+		return nil
+	}); err != nil {
+		t.Fatalf("read back after recovery: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-heal commit lost after recovery: got %x", got[:16])
 	}
 }
 
@@ -363,7 +526,7 @@ func diffFinalStates(a, b engine.Engine, res *conformanceResult) []string {
 	c := sim.NewClock()
 	read := func(e engine.Engine, key uint64) []byte {
 		var got []byte
-		engine.RunClosed(e, c, confRetries, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{Retries: confRetries}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err

@@ -45,7 +45,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 	t.Run("ReadYourWrites", func(t *testing.T) {
 		e := factory(t)
 		c := sim.NewClock()
-		err := e.Execute(c, func(tx engine.Tx) error {
+		err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			if err := tx.Write(10, val(layout, 111)); err != nil {
 				return err
 			}
@@ -66,12 +66,12 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 	t.Run("CommittedVisible", func(t *testing.T) {
 		e := factory(t)
 		c := sim.NewClock()
-		if err := e.Execute(c, func(tx engine.Tx) error {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			return tx.Write(5, val(layout, 55))
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if err := e.Execute(c, func(tx engine.Tx) error {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(5)
 			if err != nil {
 				return err
@@ -89,14 +89,14 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		e := factory(t)
 		c := sim.NewClock()
 		boom := bytesErr("boom")
-		err := e.Execute(c, func(tx engine.Tx) error {
+		err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			tx.Write(7, val(layout, 77))
 			return boom
 		})
 		if err != boom {
 			t.Fatalf("err = %v", err)
 		}
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(7)
 			if err != nil {
 				return err
@@ -113,7 +113,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		c := sim.NewClock()
 		for i := 0; i < 10; i++ {
 			n := uint64(i + 1)
-			if err := e.Execute(c, func(tx engine.Tx) error {
+			if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				tx.Write(100, val(layout, n))
 				tx.Write(200, val(layout, n))
 				return nil
@@ -121,7 +121,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 				t.Fatal(err)
 			}
 		}
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			a, _ := tx.Read(100)
 			b, _ := tx.Read(200)
 			if !bytes.Equal(a, b) {
@@ -141,7 +141,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 			key := uint64(1000 + id) // disjoint keys: no conflicts
 			done := 0
 			for i := 0; i < perWorker; i++ {
-				err := engine.RunClosed(e, c, 10, func(tx engine.Tx) error {
+				err := engine.Run(e, c, engine.RunOpts{Retries: 10}, func(tx engine.Tx) error {
 					v, err := tx.Read(key)
 					if err != nil {
 						return err
@@ -160,7 +160,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		c := sim.NewClock()
 		for id := 0; id < workers; id++ {
 			key := uint64(1000 + id)
-			e.Execute(c, func(tx engine.Tx) error {
+			engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				v, _ := tx.Read(key)
 				if tag(v) != perWorker {
 					t.Errorf("key %d = %d, want %d", key, tag(v), perWorker)
@@ -176,7 +176,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		res := sim.RunGroup(workers, func(id int, c *sim.Clock) int {
 			done := 0
 			for i := 0; i < perWorker; i++ {
-				err := engine.RunClosed(e, c, 50, func(tx engine.Tx) error {
+				err := engine.Run(e, c, engine.RunOpts{Retries: 50}, func(tx engine.Tx) error {
 					v, err := tx.Read(999)
 					if err != nil {
 						return err
@@ -194,7 +194,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		// increment must be ≥ some lower bound and the counter must
 		// never exceed total commits.
 		c := sim.NewClock()
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, _ := tx.Read(999)
 			got := tag(v)
 			if got == 0 || got > uint64(res.TotalOps) {
@@ -212,14 +212,14 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		}
 		c := sim.NewClock()
 		for i := uint64(1); i <= 20; i++ {
-			if err := e.Execute(c, func(tx engine.Tx) error {
+			if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				return tx.Write(i, val(layout, i*100))
 			}); err != nil {
 				t.Fatal(err)
 			}
 		}
 		r.Crash()
-		if err := e.Execute(c, func(tx engine.Tx) error { return nil }); err != engine.ErrUnavailable {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return nil }); err != engine.ErrUnavailable {
 			t.Fatalf("crashed engine accepted work: %v", err)
 		}
 		rc := sim.NewClock()
@@ -232,7 +232,7 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 		}
 		for i := uint64(1); i <= 20; i++ {
 			key := i
-			if err := e.Execute(c, func(tx engine.Tx) error {
+			if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				v, err := tx.Read(key)
 				if err != nil {
 					return err

@@ -23,7 +23,7 @@ func TestTwoTierCacheAbsorbsWorkingSet(t *testing.T) {
 	keys := 40 * uint64(layout.PerPage)
 	for pass := 0; pass < 3; pass++ {
 		for i := uint64(0); i < keys; i += 7 {
-			e.Execute(c, func(tx engine.Tx) error {
+			engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 				_, err := tx.Read(i)
 				if err != nil {
 					return err
@@ -52,7 +52,7 @@ func TestRecoveryFromRemoteMemoryBeatsStorage(t *testing.T) {
 		c := sim.NewClock()
 		val := make([]byte, layout.ValSize)
 		for i := uint64(0); i < 400; i++ {
-			e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%100, val) })
+			engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i%100, val) })
 		}
 		e.Crash()
 		return e
@@ -80,7 +80,7 @@ func TestDataSurvivesCrashViaRemoteCheckpoint(t *testing.T) {
 	val := make([]byte, layout.ValSize)
 	val[0] = 0xEE
 	for i := uint64(0); i < 64; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Crash()
 	if _, err := e.Recover(sim.NewClock()); err != nil {
@@ -88,7 +88,7 @@ func TestDataSurvivesCrashViaRemoteCheckpoint(t *testing.T) {
 	}
 	for i := uint64(0); i < 64; i += 9 {
 		key := i
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err

@@ -20,7 +20,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 	e := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 50; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
 	}
 	before := e.LogLen()
 	if err := e.Checkpoint(c); err != nil {
@@ -34,7 +34,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 	if _, err := e.Recover(sim.NewClock()); err != nil {
 		t.Fatal(err)
 	}
-	e.Execute(c, func(tx engine.Tx) error {
+	engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(3)
 		if err != nil {
 			return err
@@ -51,12 +51,12 @@ func TestRecoveryReplaysOnlyTail(t *testing.T) {
 	e := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 100; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
 	}
 	e.Checkpoint(c)
 	// A few more post-checkpoint commits.
 	for i := uint64(0); i < 5; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
 	}
 	e.Crash()
 	short, err := e.Recover(sim.NewClock())
@@ -68,7 +68,7 @@ func TestRecoveryReplaysOnlyTail(t *testing.T) {
 	e2 := monolithic.New(cfg, enginetest.Layout(t), 64)
 	c2 := sim.NewClock()
 	for i := uint64(0); i < 105; i++ {
-		e2.Execute(c2, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
+		engine.Run(e2, c2, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i%10, make([]byte, 64)) })
 	}
 	e2.Crash()
 	long, err := e2.Recover(sim.NewClock())
@@ -84,7 +84,7 @@ func TestNoNetworkTraffic(t *testing.T) {
 	e := monolithic.New(sim.DefaultConfig(), enginetest.Layout(t), 64)
 	c := sim.NewClock()
 	for i := uint64(0); i < 20; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
 	}
 	if e.Stats().NetBytes.Load() != 0 {
 		t.Fatalf("monolithic engine used the network: %d bytes", e.Stats().NetBytes.Load())

@@ -31,12 +31,12 @@ func TestOptimisticReadsRepairStalePages(t *testing.T) {
 	// re-reads from the page store.
 	keys := 20 * uint64(layout.PerPage)
 	for i := uint64(0); i < keys; i += uint64(layout.PerPage) {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Pool().InvalidateAll()
 	for i := uint64(0); i < keys; i += uint64(layout.PerPage) {
 		key := i
-		if err := e.Execute(c, func(tx engine.Tx) error {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err
@@ -67,7 +67,7 @@ func TestPilotCommitCheaperThanNaive(t *testing.T) {
 		return sim.RunGroup(1, func(id int, c *sim.Clock) int {
 			val := make([]byte, layout.ValSize)
 			for i := 0; i < 300; i++ {
-				e.Execute(c, func(tx engine.Tx) error { return tx.Write(uint64(i%50), val) })
+				engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(uint64(i%50), val) })
 			}
 			return 300
 		})
@@ -86,7 +86,7 @@ func TestRecoveryFromPMLog(t *testing.T) {
 	val := make([]byte, layout.ValSize)
 	val[0] = 0x11
 	for i := uint64(0); i < 50; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Crash()
 	d, err := e.Recover(sim.NewClock())
@@ -98,7 +98,7 @@ func TestRecoveryFromPMLog(t *testing.T) {
 	}
 	for i := uint64(0); i < 50; i += 7 {
 		key := i
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err

@@ -33,6 +33,11 @@ type Engine struct {
 	stats engine.Stats
 	pool  *buffer.Pool
 
+	// gc, when non-nil, combines concurrent commit-path raft appends into
+	// shared group flushes (engine.GroupCommitter): one replication round
+	// carries every rider's encoded records.
+	gc *sim.Batcher[[]byte, int]
+
 	// CheckpointEvery flushes dirty pages to PolarFS every N commits
 	// (page shipping; 0 disables).
 	CheckpointEvery int
@@ -65,6 +70,42 @@ func (e *Engine) Name() string { return "polardb" }
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// EnableGroupCommit implements engine.GroupCommitter: commit-path raft
+// appends share one replication round of up to maxItems transactions or
+// the virtual window.
+func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	if maxItems <= 1 {
+		e.gc = nil
+		return
+	}
+	e.gc = sim.NewBatcher(e.cfg, "polardb.groupcommit",
+		sim.BatchPolicy{MaxItems: maxItems, Window: window, OnFlush: e.noteFlush},
+		e.flushGroup)
+}
+
+func (e *Engine) noteFlush(n int, reason sim.FlushReason) {
+	e.stats.GroupFlushes.Add(1)
+	if reason == sim.FlushSize {
+		e.stats.FlushOnSize.Add(1)
+	} else {
+		e.stats.FlushOnTimeout.Add(1)
+	}
+}
+
+// flushGroup raft-appends every rider's encoded records as one
+// replication round; rider i learns its log index in out[i].
+func (e *Engine) flushGroup(c *sim.Clock, blobs [][]byte, out []int) error {
+	first, err := e.FS.AppendBatch(c, blobs)
+	if err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = first + i
+	}
+	e.stats.NetMsgs.Add(3)
+	return nil
+}
 
 // fetchPage reads a page image from PolarFS (RDMA + NVMe) and replays any
 // newer log records onto it.
@@ -184,14 +225,22 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	lastLSN = commit.LSN
 	encoded = commit.Encode(encoded)
 	payload = len(encoded)
-	if _, err := e.FS.Append(c, encoded); err != nil {
-		e.stats.Aborts.Add(1)
-		return engine.ErrUnavailable
+	if e.gc != nil {
+		if _, err := e.gc.Submit(c, encoded); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+		e.stats.GroupCommits.Add(1)
+	} else {
+		if _, err := e.FS.Append(c, encoded); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+		e.stats.NetMsgs.Add(3)
 	}
 	// PolarFS replicates leader -> 2 followers over the fabric.
 	e.stats.LogBytes.Add(int64(payload))
 	e.stats.NetBytes.Add(int64(payload) * 3)
-	e.stats.NetMsgs.Add(3)
 	e.mu.Lock()
 	if lastLSN > e.durableLSN {
 		e.durableLSN = lastLSN

@@ -21,7 +21,7 @@ func TestShipsPagesAndLogs(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 64; i++ {
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -40,7 +40,7 @@ func TestPolarFSLeaderFailover(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 10; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	// Kill the PolarFS leader; the engine recovers by electing a new one.
 	e.FS.FailPeer(e.FS.Leader())
@@ -48,11 +48,11 @@ func TestPolarFSLeaderFailover(t *testing.T) {
 	if _, err := e.Recover(sim.NewClock()); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(99, val) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(99, val) }); err != nil {
 		t.Fatalf("write after failover: %v", err)
 	}
 	e.Pool().InvalidateAll()
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(5)
 		if err != nil {
 			return err
@@ -76,7 +76,7 @@ func TestCommitFasterThanTCPBaselineButMoreBytesThanAurora(t *testing.T) {
 	val := make([]byte, layout.ValSize)
 	const n = 200
 	for i := uint64(0); i < n; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i%32, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i%32, val) })
 	}
 	bpc := e.Stats().BytesPerCommit()
 	if bpc < 200 {

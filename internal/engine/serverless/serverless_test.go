@@ -21,7 +21,7 @@ func TestSecondariesSeeFreshDataWithoutReplay(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	binary.LittleEndian.PutUint64(val, 777)
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(9, val) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(9, val) }); err != nil {
 		t.Fatal(err)
 	}
 	// Both secondaries read the committed value immediately.
@@ -50,11 +50,11 @@ func TestLocalCacheValidationCatchesStaleness(t *testing.T) {
 	binary.LittleEndian.PutUint64(v1, 1)
 	v2 := make([]byte, layout.ValSize)
 	binary.LittleEndian.PutUint64(v2, 2)
-	e.Execute(c, func(tx engine.Tx) error { return tx.Write(3, v1) })
+	engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(3, v1) })
 	// Secondary caches the page.
 	e.ReadReplica(c, 1, func(tx engine.Tx) error { _, err := tx.Read(3); return err })
 	// Primary overwrites.
-	e.Execute(c, func(tx engine.Tx) error { return tx.Write(3, v2) })
+	engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(3, v2) })
 	// Secondary must observe the new value (LSN validation invalidates
 	// its cached copy).
 	err := e.ReadReplica(c, 1, func(tx engine.Tx) error {
@@ -78,7 +78,7 @@ func TestFailoverPromotesSecondaryFast(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 100; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Crash()
 	rc := sim.NewClock()
@@ -90,7 +90,7 @@ func TestFailoverPromotesSecondaryFast(t *testing.T) {
 		t.Fatalf("failover took %v — shared memory pool should make this near-instant", d)
 	}
 	// The new primary serves immediately from the shared pool.
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(50)
 		if err != nil {
 			return err
@@ -110,7 +110,7 @@ func TestAddNodeIsMetadataOnly(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 50; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	before := e.Stats().NetBytes.Load()
 	rc := sim.NewClock()

@@ -38,14 +38,14 @@ func TestCrossPartitionCostsMore(t *testing.T) {
 		t.Fatal("could not find key pairs")
 	}
 	single := sim.NewClock()
-	if err := e.Execute(single, func(tx engine.Tx) error {
+	if err := engine.Run(e, single, engine.RunOpts{}, func(tx engine.Tx) error {
 		tx.Write(sameA, val)
 		return tx.Write(sameB, val)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	multi := sim.NewClock()
-	if err := e.Execute(multi, func(tx engine.Tx) error {
+	if err := engine.Run(e, multi, engine.RunOpts{}, func(tx engine.Tx) error {
 		tx.Write(diffA, val)
 		return tx.Write(diffB, val)
 	}); err != nil {
@@ -63,7 +63,7 @@ func TestRebalanceMovesData(t *testing.T) {
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 1000; i++ {
 		key := i
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(key, val) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func TestRebalanceMovesData(t *testing.T) {
 	// All data still readable after rebalance.
 	for i := uint64(0); i < 1000; i += 97 {
 		key := i
-		if err := e.Execute(c, func(tx engine.Tx) error {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err

@@ -30,7 +30,7 @@ func TestKVTornSegmentRecoversCleanPrefix(t *testing.T) {
 	val := make([]byte, layout.ValSize)
 	val[0] = 0xAB
 	for i := uint64(0); i < 8; i++ {
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,7 +59,7 @@ func TestKVTornSegmentRecoversCleanPrefix(t *testing.T) {
 		t.Fatalf("recovery choked on torn segment: %v", err)
 	}
 	// All but the last segment's torn tail must be intact.
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(0)
 		if err != nil {
 			return err

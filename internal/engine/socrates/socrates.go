@@ -10,6 +10,7 @@ package socrates
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,10 @@ type Engine struct {
 	locks *txn.LockTable
 	stats engine.Stats
 	pool  *buffer.Pool
+
+	// gc, when non-nil, combines concurrent XLOG appends into shared
+	// group flushes (engine.GroupCommitter).
+	gc *sim.Batcher[[]wal.Record, wal.LSN]
 
 	// SnapshotEvery pushes page snapshots to XStore every N commits
 	// (0 disables).
@@ -75,6 +80,51 @@ func (e *Engine) Name() string { return "socrates" }
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() *engine.Stats { return &e.stats }
+
+// EnableGroupCommit implements engine.GroupCommitter: commits share XLOG
+// flushes of up to maxItems transactions or the virtual window.
+func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	if maxItems <= 1 {
+		e.gc = nil
+		return
+	}
+	e.gc = sim.NewBatcher(e.cfg, "socrates.groupcommit",
+		sim.BatchPolicy{MaxItems: maxItems, Window: window, OnFlush: e.noteFlush},
+		e.flushGroup)
+}
+
+func (e *Engine) noteFlush(n int, reason sim.FlushReason) {
+	e.stats.GroupFlushes.Add(1)
+	if reason == sim.FlushSize {
+		e.stats.FlushOnSize.Add(1)
+	} else {
+		e.stats.FlushOnTimeout.Add(1)
+	}
+}
+
+// flushGroup appends every rider's records to XLOG as one flush in LSN
+// order; all riders wake with the group's durable high-water LSN.
+func (e *Engine) flushGroup(c *sim.Clock, groups [][]wal.Record, out []wal.LSN) error {
+	var recs []wal.Record
+	for _, g := range groups {
+		recs = append(recs, g...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
+	if err := e.XLOG.Append(c, recs); err != nil {
+		return err
+	}
+	e.stats.NetMsgs.Add(1)
+	high := recs[len(recs)-1].LSN
+	e.mu.Lock()
+	if high > e.durableLSN {
+		e.durableLSN = high
+	}
+	e.mu.Unlock()
+	for i := range out {
+		out[i] = high
+	}
+	return nil
+}
 
 // fetchPage reads from the first healthy, fresh-enough page server.
 func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
@@ -168,13 +218,21 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	recs = append(recs, commit)
 
 	// Durability: the commit waits ONLY for XLOG.
-	if err := e.XLOG.Append(c, recs); err != nil {
-		e.stats.Aborts.Add(1)
-		return engine.ErrUnavailable
+	if e.gc != nil {
+		if _, err := e.gc.Submit(c, recs); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+		e.stats.GroupCommits.Add(1)
+	} else {
+		if err := e.XLOG.Append(c, recs); err != nil {
+			e.stats.Aborts.Add(1)
+			return engine.ErrUnavailable
+		}
+		e.stats.NetMsgs.Add(1)
 	}
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.stats.NetBytes.Add(int64(logBytes))
-	e.stats.NetMsgs.Add(1)
 
 	// Availability: XLOG disseminates to page servers off the commit
 	// path (the writer does NOT pay this fan-out — Socrates's advantage

@@ -22,9 +22,9 @@ func TestCommitWaitsOnlyForXLOG(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	// Warm the cache so the commit path has no reads.
-	e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) })
+	engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(1, val) })
 	before := c.Now()
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
 		t.Fatal(err)
 	}
 	commitCost := c.Now() - before
@@ -43,7 +43,7 @@ func TestPageServersServeAfterComputeCrash(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 30; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Crash()
 	d, err := e.Recover(sim.NewClock())
@@ -53,7 +53,7 @@ func TestPageServersServeAfterComputeCrash(t *testing.T) {
 	if d > 1_000_000 {
 		t.Fatalf("socrates recovery took %v", d)
 	}
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(5)
 		if err != nil {
 			return err
@@ -73,11 +73,11 @@ func TestPageServerFailureTolerated(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 30; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.PageServers[0].Fail()
 	e.Pool().InvalidateAll()
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		_, err := tx.Read(3)
 		return err
 	}); err != nil {
@@ -92,7 +92,7 @@ func TestSnapshotsReachXStore(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 32; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	if e.XStore.Len() == 0 {
 		t.Fatal("no snapshots reached XStore")

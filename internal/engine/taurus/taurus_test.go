@@ -21,7 +21,7 @@ func TestPageStoresLagAndConverge(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 30; i++ {
-		if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,12 +44,12 @@ func TestStaleReadTriggersGossipAndSucceeds(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	for i := uint64(0); i < 20; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i, val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, val) })
 	}
 	e.Pool().InvalidateAll()
 	// The read needs the newest LSN; no single store has the full
 	// prefix, so the engine gossips on demand and then serves it.
-	if err := e.Execute(c, func(tx engine.Tx) error {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 		v, err := tx.Read(19)
 		if err != nil {
 			return err
@@ -69,11 +69,11 @@ func TestLogStoreQuorumFailure(t *testing.T) {
 	c := sim.NewClock()
 	val := make([]byte, layout.ValSize)
 	e.LogStores.Stores[0].Fail()
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(1, val) }); err != nil {
 		t.Fatalf("2/3 log stores should suffice: %v", err)
 	}
 	e.LogStores.Stores[1].Fail()
-	if err := e.Execute(c, func(tx engine.Tx) error { return tx.Write(2, val) }); err != engine.ErrUnavailable {
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(2, val) }); err != engine.ErrUnavailable {
 		t.Fatalf("1/3 log stores: %v", err)
 	}
 }

@@ -150,7 +150,7 @@ func runE1(cfg *sim.Config, s Scale) *Result {
 	rdma.Connect(cfg, pm, nil).WritePersist(fc, 0, make([]byte, 768))
 	r.note("fabric floor: one-sided persist of a 768B log batch on remote PM costs %v", fc.Now())
 	r.traceOp(cfg, "txn.write", func(c *sim.Clock) {
-		auE.Execute(c, func(tx engine.Tx) error {
+		engine.Run(auE, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			return tx.Write(1, make([]byte, layout.ValSize))
 		})
 	})
@@ -169,9 +169,9 @@ func runE2(cfg *sim.Config, s Scale) *Result {
 		"scenario", "alive", "writes", "reads")
 	probe := func(scenario string) {
 		c := sim.NewClock()
-		werr := e.Execute(c, func(tx engine.Tx) error { return tx.Write(1, make([]byte, layout.ValSize)) })
+		werr := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(1, make([]byte, layout.ValSize)) })
 		e.Pool().InvalidateAll()
-		rerr := e.Execute(c, func(tx engine.Tx) error { _, err := tx.Read(1); return err })
+		rerr := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { _, err := tx.Read(1); return err })
 		status := func(err error) string {
 			if err == nil {
 				return "ok"
@@ -218,7 +218,7 @@ func runE2(cfg *sim.Config, s Scale) *Result {
 	e2.Volume.Replicas[5].Fail()
 	c3 := sim.NewClock()
 	for i := uint64(0); i < 20; i++ {
-		e2.Execute(c3, func(tx engine.Tx) error { return tx.Write(i, make([]byte, layout.ValSize)) })
+		engine.Run(e2, c3, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, make([]byte, layout.ValSize)) })
 	}
 	rc := sim.NewClock()
 	n, err := e2.Volume.RepairReplica(rc, 5, e2.Log())
@@ -293,7 +293,7 @@ func runE4(cfg *sim.Config, s Scale) *Result {
 	c := sim.NewClock()
 	for i := 0; i < keys; i++ {
 		key := uint64(i)
-		sn.Execute(c, func(tx engine.Tx) error { return tx.Write(key, make([]byte, layout.ValSize)) })
+		engine.Run(sn, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(key, make([]byte, layout.ValSize)) })
 	}
 	rc := sim.NewClock()
 	moved := sn.Rebalance(rc, 8)

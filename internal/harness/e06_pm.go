@@ -139,13 +139,13 @@ func runE8(cfg *sim.Config, s Scale) *Result {
 	val := make([]byte, layout.ValSize)
 	val[0] = 0x77
 	for i := uint64(0); i < 30; i++ {
-		e.Execute(c, func(tx engine.Tx) error { return tx.Write(i*uint64(layout.PerPage), val) })
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i*uint64(layout.PerPage), val) })
 	}
 	e.Pool().InvalidateAll()
 	stale := false
 	for i := uint64(0); i < 30; i++ {
 		key := i * uint64(layout.PerPage)
-		e.Execute(c, func(tx engine.Tx) error {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
 			v, err := tx.Read(key)
 			if err != nil {
 				return err

@@ -130,7 +130,7 @@ func runE10(cfg *sim.Config, s Scale) *Result {
 	// Secondary freshness: write on primary, read on secondary.
 	val := make([]byte, layout.ValSize)
 	val[0] = 0xAB
-	sv.Execute(c, func(tx engine.Tx) error { return tx.Write(77, val) })
+	engine.Run(sv, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(77, val) })
 	fresh := false
 	sv.ReadReplica(c, 1, func(tx engine.Tx) error {
 		v, err := tx.Read(77)

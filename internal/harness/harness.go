@@ -109,7 +109,10 @@ type Experiment struct {
 	ID    string
 	Title string
 	Claim string // the paper statement being reproduced
-	Run   func(cfg *sim.Config, s Scale) *Result
+	// Aliases are alternate -run names (e.g. "E-batch" for E24), for
+	// callers that address an experiment by topic rather than number.
+	Aliases []string
+	Run     func(cfg *sim.Config, s Scale) *Result
 }
 
 var registry []Experiment
@@ -136,11 +139,17 @@ func expNum(id string) int {
 	return n
 }
 
-// Lookup finds an experiment by ID (case-sensitive, e.g. "E6").
+// Lookup finds an experiment by ID or alias (case-sensitive, e.g. "E6"
+// or "E-batch").
 func Lookup(id string) (Experiment, bool) {
 	for _, e := range registry {
 		if e.ID == id {
 			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == id {
+				return e, true
+			}
 		}
 	}
 	return Experiment{}, false

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23 (E1-E20 claims + E21-E23 extensions)", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24 (E1-E20 claims + E21-E24 extensions)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -24,6 +24,9 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Lookup("E6"); !ok {
 		t.Fatal("Lookup(E6) failed")
+	}
+	if e, ok := Lookup("E-batch"); !ok || e.ID != "E24" {
+		t.Fatalf("Lookup(E-batch) = (%q, %v), want E24 via alias", e.ID, ok)
 	}
 	if _, ok := Lookup("E99"); ok {
 		t.Fatal("Lookup(E99) succeeded")

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/disagglab/disagg/internal/rdma"
 	"github.com/disagglab/disagg/internal/sim"
@@ -60,6 +61,22 @@ func New(cfg *sim.Config, name string, size int) *Pool {
 			p.Free(binary.LittleEndian.Uint64(req))
 		}
 		return nil
+	})
+	// Coalesced allocation: k sizes in, k (addr, status) pairs out, one
+	// RPC round trip for the lot. Per-item failures (fragmentation, OOM)
+	// are reported per item, not for the whole batch.
+	p.node.Handle("allocn", func(c *sim.Clock, req []byte) []byte {
+		k := len(req) / 8
+		out := make([]byte, 16*k)
+		for i := 0; i < k; i++ {
+			addr, err := p.Alloc(binary.LittleEndian.Uint64(req[8*i:]))
+			if err != nil {
+				binary.LittleEndian.PutUint64(out[16*i+8:], 1)
+				continue
+			}
+			binary.LittleEndian.PutUint64(out[16*i:], addr)
+		}
+		return out
 	})
 	return p
 }
@@ -169,6 +186,70 @@ func FreeRemote(c *sim.Clock, qp *rdma.QP, addr uint64) error {
 	op.End(0)
 	return err
 }
+
+type allocResult struct {
+	addr uint64
+	ok   bool
+}
+
+// Coalescer batches control-plane allocation RPCs from many workers into
+// shared "allocn" calls: one round trip and one remote dispatch per flush
+// instead of per allocation. Data-plane accesses stay one-sided.
+type Coalescer struct {
+	qp *rdma.QP
+	b  *sim.Batcher[uint64, allocResult]
+}
+
+// NewCoalescer builds a coalescer over qp. maxItems <= 1 keeps the
+// direct one-RPC-per-alloc path (through the same choke point).
+func NewCoalescer(qp *rdma.QP, maxItems int, window time.Duration) *Coalescer {
+	co := &Coalescer{qp: qp}
+	co.b = sim.NewBatcher(qp.Config(), "memnode.allocn",
+		sim.BatchPolicy{MaxItems: maxItems, Window: window}, co.flush)
+	return co
+}
+
+func (co *Coalescer) flush(c *sim.Clock, sizes []uint64, out []allocResult) error {
+	op := co.qp.Config().Begin(c, "memnode.alloc")
+	req := make([]byte, 8*len(sizes))
+	for i, s := range sizes {
+		binary.LittleEndian.PutUint64(req[8*i:], s)
+	}
+	resp, err := co.qp.Call(c, "allocn", req)
+	if err != nil {
+		op.End(0)
+		return err
+	}
+	if len(resp) != 16*len(sizes) {
+		op.End(0)
+		return fmt.Errorf("memnode: bad allocn response (%d bytes for %d sizes)", len(resp), len(sizes))
+	}
+	for i := range out {
+		if binary.LittleEndian.Uint64(resp[16*i+8:]) == 0 {
+			out[i] = allocResult{addr: binary.LittleEndian.Uint64(resp[16*i:]), ok: true}
+		} else {
+			out[i] = allocResult{}
+		}
+	}
+	op.End(int64(len(req) + len(resp)))
+	return nil
+}
+
+// Alloc reserves size bytes through the coalesced RPC path. The caller's
+// clock lands at its batch's completion time.
+func (co *Coalescer) Alloc(c *sim.Clock, size uint64) (uint64, error) {
+	r, err := co.b.Submit(c, size)
+	if err != nil {
+		return 0, err
+	}
+	if !r.ok {
+		return 0, ErrOutOfMemory
+	}
+	return r.addr, nil
+}
+
+// Stats snapshots the coalescer's flush counters.
+func (co *Coalescer) Stats() sim.BatcherStats { return co.b.Stats() }
 
 // Cluster aggregates several memory nodes into one logical pool with
 // capacity-based placement (the "near-infinite memory illusion" of §1).

@@ -1,8 +1,11 @@
 package memnode
 
 import (
+	"encoding/binary"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/disagglab/disagg/internal/sim"
 )
@@ -152,5 +155,83 @@ func TestClusterPlacement(t *testing.T) {
 	}
 	if _, _, err := cl.Alloc(8); err != ErrOutOfMemory {
 		t.Fatalf("alloc beyond cluster: %v", err)
+	}
+}
+
+func TestCoalescerAllocatesAndAmortizes(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "mem0", 1<<20)
+	co := NewCoalescer(p.Connect(nil), 8, 50*time.Microsecond)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	addrs := make([]uint64, workers)
+	errs := make([]error, workers)
+	ends := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sim.NewClock()
+			addrs[w], errs[w] = co.Alloc(c, 64)
+			ends[w] = c.Now()
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if seen[addrs[w]] {
+			t.Fatalf("duplicate address %#x", addrs[w])
+		}
+		seen[addrs[w]] = true
+	}
+	s := co.Stats()
+	if s.Items != workers {
+		t.Fatalf("items = %d, want %d", s.Items, workers)
+	}
+	if s.Flushes == workers {
+		t.Skip("no coalescing happened under this scheduler interleaving")
+	}
+	if s.Flushes >= workers {
+		t.Fatalf("flushes = %d, want < %d (coalescing)", s.Flushes, workers)
+	}
+}
+
+func TestCoalescerReportsPerItemOOM(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "mem0", 128)
+	co := NewCoalescer(p.Connect(nil), 1, 0)
+	c := sim.NewClock()
+	if _, err := co.Alloc(c, 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Alloc(c, 64); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestAllocNHandlerMixedOutcomes(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := New(cfg, "mem0", 256)
+	qp := p.Connect(nil)
+	c := sim.NewClock()
+	req := make([]byte, 16)
+	binary.LittleEndian.PutUint64(req[:8], 192)
+	binary.LittleEndian.PutUint64(req[8:], 128) // cannot fit after the first
+	resp, err := qp.Call(c, "allocn", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 32 {
+		t.Fatalf("resp = %d bytes", len(resp))
+	}
+	if binary.LittleEndian.Uint64(resp[8:16]) != 0 {
+		t.Fatal("first alloc should succeed")
+	}
+	if binary.LittleEndian.Uint64(resp[24:32]) == 0 {
+		t.Fatal("second alloc should fail per-item")
 	}
 }

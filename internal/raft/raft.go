@@ -113,6 +113,21 @@ func (g *Group) alive() int {
 // but the caller sees an error before replication completes — an
 // unacknowledged write a later quorum commit may still surface.
 func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
+	d := [1][]byte{data}
+	return g.AppendBatch(c, d[:])
+}
+
+// AppendBatch replicates datas as one group flush: the entries occupy
+// consecutive indices (the returned index is the first) and the whole
+// group costs a single replication round on the combined payload — one
+// leader persist, one parallel follower fan-out, one fault decision. A
+// torn batch persists only a prefix of the entries on the leader before
+// the caller errors, so every rider of the flush must treat its commit as
+// unacknowledged.
+func (g *Group) AppendBatch(c *sim.Clock, datas [][]byte) (int, error) {
+	if len(datas) == 0 {
+		return 0, nil
+	}
 	op := g.cfg.Begin(c, "raft.append")
 	f := g.cfg.Inject(c, "raft.append")
 	if f.Drop {
@@ -123,6 +138,16 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 	leader := g.peers[g.leader]
 	g.mu.Unlock()
 
+	total := 0
+	entries := make([]Entry, len(datas))
+	persisted := len(datas)
+	if f.Torn {
+		// Crash-point mid-flush: only a prefix of the group reaches the
+		// leader's log (at least one entry, matching the single-append
+		// tear), and no caller learns an index.
+		persisted = (len(datas) + 1) / 2
+	}
+
 	leader.mu.Lock()
 	if leader.failed {
 		leader.mu.Unlock()
@@ -130,22 +155,27 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 		return 0, ErrNotLeader
 	}
 	term := leader.term
-	entry := Entry{Term: term, Data: append([]byte(nil), data...)}
-	leader.log = append(leader.log, entry)
-	index := len(leader.log)
+	for i, data := range datas {
+		entries[i] = Entry{Term: term, Data: append([]byte(nil), data...)}
+		total += len(data)
+	}
+	leader.log = append(leader.log, entries[:persisted]...)
+	index := len(leader.log) - persisted + 1 // first index of the group
+	last := len(leader.log)
 	leader.mu.Unlock()
 
 	if f.Torn {
-		// Crash-point mid-append: the leader persisted the entry but the
-		// caller never learns the index. A later successful append at a
-		// higher index commits this one too (Raft prefix commit), so the
-		// write may still surface — exactly the ambiguous-outcome case.
+		// The persisted prefix may still surface: a later successful
+		// append at a higher index commits it too (Raft prefix commit) —
+		// exactly the ambiguous-outcome case.
 		op.End(0)
 		return 0, f.FaultErr()
 	}
 
-	// Leader persist (NVMe) + parallel follower replication.
-	persist := g.cfg.SSDWrite.Cost(len(data))
+	// Leader persist (NVMe) + parallel follower replication, both on the
+	// combined payload — this amortization is the whole point of group
+	// commit.
+	persist := g.cfg.SSDWrite.Cost(total)
 	acks := []time.Duration{persist} // leader's own ack
 	for _, p := range g.peers {
 		if p == leader {
@@ -158,15 +188,15 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 		}
 		if p.term <= term {
 			p.term = term
-			// Place the entry at its exact index. Concurrent appends
+			// Place each entry at its exact index. Concurrent appends
 			// may arrive out of order (ParallelRaft acks entries
 			// independently); holes are extended with placeholders
 			// that the straggler overwrites when it arrives.
-			for len(p.log) < index {
+			for len(p.log) < last {
 				p.log = append(p.log, Entry{})
 			}
-			p.log[index-1] = entry
-			ack := time.Duration(float64(g.cfg.RDMA.Cost(len(data)))*p.netScale) + g.cfg.SSDWrite.Cost(len(data))
+			copy(p.log[index-1:], entries)
+			ack := time.Duration(float64(g.cfg.RDMA.Cost(total))*p.netScale) + g.cfg.SSDWrite.Cost(total)
 			acks = append(acks, ack)
 		} else {
 			p.mu.Unlock()
@@ -185,18 +215,18 @@ func (g *Group) Append(c *sim.Clock, data []byte) (int, error) {
 
 	// Advance commit on leader and (lazily) followers.
 	leader.mu.Lock()
-	if index > leader.commit {
-		leader.commit = index
+	if last > leader.commit {
+		leader.commit = last
 	}
 	leader.mu.Unlock()
 	for _, p := range g.peers {
 		p.mu.Lock()
-		if !p.failed && len(p.log) >= index && index > p.commit {
-			p.commit = index
+		if !p.failed && len(p.log) >= last && last > p.commit {
+			p.commit = last
 		}
 		p.mu.Unlock()
 	}
-	op.End(int64(len(data)))
+	op.End(int64(total))
 	return index, nil
 }
 

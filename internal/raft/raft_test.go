@@ -143,3 +143,55 @@ func TestEntryOutOfRange(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestAppendBatchConsecutiveIndicesOneRound(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	g := NewGroup(cfg, 3)
+	c := sim.NewClock()
+	if _, err := g.Append(c, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	datas := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	before := c.Now()
+	first, err := g.AppendBatch(c, datas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("first index = %d, want 2", first)
+	}
+	batchCost := c.Now() - before
+	if g.CommitIndex() != 4 {
+		t.Fatalf("commit = %d, want 4", g.CommitIndex())
+	}
+	for i, want := range datas {
+		e, err := g.Entry(c, first+i)
+		if err != nil || !bytes.Equal(e.Data, want) {
+			t.Fatalf("entry %d: %q %v", first+i, e.Data, err)
+		}
+	}
+
+	// The batch must be cheaper than replicating each entry alone: one
+	// replication round on the combined payload amortizes the bases.
+	g2 := NewGroup(cfg, 3)
+	c2 := sim.NewClock()
+	for _, d := range datas {
+		if _, err := g2.Append(c2, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(batchCost < c2.Now()) {
+		t.Fatalf("batch (%v) should be cheaper than %d singles (%v)", batchCost, len(datas), c2.Now())
+	}
+}
+
+func TestAppendBatchEmptyIsNoOp(t *testing.T) {
+	g := NewGroup(sim.DefaultConfig(), 3)
+	c := sim.NewClock()
+	if idx, err := g.AppendBatch(c, nil); err != nil || idx != 0 {
+		t.Fatalf("empty batch: %d %v", idx, err)
+	}
+	if c.Now() != 0 {
+		t.Fatal("empty batch charged time")
+	}
+}

@@ -359,3 +359,80 @@ func TestConcurrentQPsContendOnNIC(t *testing.T) {
 		t.Fatalf("no queueing penalty: solo %v vs crowd %v", solo.MeanLatency(), crowd.MeanLatency())
 	}
 }
+
+func TestPostNMixedVerbsOneDoorbell(t *testing.T) {
+	cfg, n := newTestNode(false)
+	var st Stats
+	qp := Connect(cfg, n, &st)
+	c := sim.NewClock()
+	if err := qp.Write(c, 64, []byte{7, 7, 7, 7, 7, 7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	st.Reset()
+	before := c.Now()
+
+	got := make([]byte, 8)
+	verbs := []Verb{
+		{Op: OpWrite, Addr: 0, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Op: OpRead, Addr: 0, Data: got},
+		{Op: OpFAA, Addr: 32, Add: 5},
+		{Op: OpCAS, Addr: 32, Old: 5, New: 9},
+		{Op: OpLoad, Addr: 32},
+	}
+	if err := qp.PostN(c, verbs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("in-batch read saw %v", got)
+	}
+	if verbs[2].Val != 5 {
+		t.Fatalf("FAA result = %d, want 5", verbs[2].Val)
+	}
+	if !verbs[3].Swapped {
+		t.Fatal("CAS should have swapped")
+	}
+	if verbs[4].Val != 9 {
+		t.Fatalf("Load result = %d, want 9", verbs[4].Val)
+	}
+	if st.Ops.Load() != 1 || st.WQEs.Load() != 5 {
+		t.Fatalf("ops/wqes = %d/%d, want 1/5", st.Ops.Load(), st.WQEs.Load())
+	}
+	// One doorbell: base + summed transfer terms + 4 marginal WQEs.
+	want := cfg.RDMA.Cost(8+8+8+8+8) + 4*cfg.RDMAPerWQE
+	if c.Now()-before != want {
+		t.Fatalf("PostN charged %v, want %v", c.Now()-before, want)
+	}
+}
+
+func TestPostNSingleVerbCostsSameAsSingleCall(t *testing.T) {
+	cfg, n := newTestNode(false)
+	p := make([]byte, 256)
+	single := sim.NewClock()
+	if err := Connect(cfg, n, nil).Write(single, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	batch1 := sim.NewClock()
+	if err := Connect(cfg, n, nil).PostN(batch1, []Verb{{Op: OpWrite, Addr: 0, Data: p}}); err != nil {
+		t.Fatal(err)
+	}
+	if single.Now() != batch1.Now() {
+		t.Fatalf("batch-of-1 (%v) must cost the same as a single verb (%v)", batch1.Now(), single.Now())
+	}
+}
+
+func TestPostNInBatchReadFlushesPM(t *testing.T) {
+	cfg, n := newTestNode(true)
+	qp := Connect(cfg, n, nil)
+	c := sim.NewClock()
+	verbs := []Verb{
+		{Op: OpWrite, Addr: 0, Data: make([]byte, 512)},
+		{Op: OpLoad, Addr: 0},
+	}
+	if err := qp.PostN(c, verbs); err != nil {
+		t.Fatal(err)
+	}
+	if n.PendingPersist() != 0 {
+		t.Fatalf("in-batch flushing read left %d pending bytes", n.PendingPersist())
+	}
+	_ = cfg
+}

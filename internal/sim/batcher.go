@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlushReason says why a batch was flushed.
+type FlushReason int
+
+const (
+	// FlushSize: the batch reached BatchPolicy.MaxItems.
+	FlushSize FlushReason = iota
+	// FlushTimeout: the leader's join budget expired before the batch
+	// filled; the group is charged the virtual window instead.
+	FlushTimeout
+)
+
+func (r FlushReason) String() string {
+	if r == FlushSize {
+		return "size"
+	}
+	return "timeout"
+}
+
+// BatchPolicy configures a Batcher.
+type BatchPolicy struct {
+	// MaxItems is the size trigger. Values <= 1 disable grouping: every
+	// Submit flushes a batch of one on the caller's clock (the disabled
+	// path is allocation-free in steady state).
+	MaxItems int
+	// Window is the virtual-time trigger: when a batch flushes on timeout
+	// the group is charged as if the leader had waited Window after its
+	// own arrival, modeling a group-commit timer.
+	Window time.Duration
+	// JoinYields bounds the leader's real-time wait for joiners, counted
+	// in scheduler yields. It only affects which virtual trigger fires,
+	// never virtual time itself. 0 means a small default.
+	JoinYields int
+	// OnFlush, when non-nil, is called once per flush (after the flush
+	// function returns) with the batch occupancy and trigger; engines use
+	// it to feed their own counters. Called on the leader's goroutine.
+	OnFlush func(n int, reason FlushReason)
+}
+
+const defaultJoinYields = 240
+
+// FlushFunc performs one combined flush for a sealed batch. It runs on the
+// leader's clock, which has already been advanced to the latest arrival in
+// the group (plus the window, on timeout); items preserve submission order
+// and out[i] must receive item i's result. An error fails every
+// participant in the batch.
+type FlushFunc[T, R any] func(c *Clock, items []T, out []R) error
+
+// batch is one combining group. done is closed by the leader after the
+// flush completes; followers then read end/err/out.
+type batch[T, R any] struct {
+	items  []T
+	out    []R
+	arrive []time.Duration
+	sealed bool
+	done   chan struct{}
+	end    time.Duration
+	err    error
+}
+
+// single is the pooled scratch for the batch-of-1 (disabled) path.
+type single[T, R any] struct {
+	items [1]T
+	out   [1]R
+}
+
+// Batcher combines concurrent submissions into shared flushes — the one
+// group-commit/doorbell-batching mechanism used by the log stores, raft,
+// the RDMA layer and the memory-node RPC path.
+//
+// The first submitter of a group becomes its leader. The leader briefly
+// yields the scheduler so concurrent submitters can join, then seals the
+// batch when it fills (FlushSize) or the yield budget expires
+// (FlushTimeout) and runs the flush once for everyone. In virtual time the
+// whole group pays max(arrival times) (+ Window on timeout) before the
+// flush cost, and every participant — leader and followers alike — wakes
+// at the same virtual completion time with the same error, which is what
+// makes "all commits in a group share one durable LSN" fall out naturally.
+//
+// Determinism: items flush in submission order (the order goroutines won
+// the batcher's lock), and each flush is a single substrate operation, so
+// a seeded fault injector sees one op per flush regardless of how the
+// group interleaved. Flush *contents* depend on goroutine scheduling;
+// flush *semantics* (ordering within a batch, single fault decision per
+// flush, shared outcome) do not, which is the property the conformance
+// suite's seed replay relies on.
+type Batcher[T, R any] struct {
+	pol   BatchPolicy
+	flush FlushFunc[T, R]
+
+	mu  sync.Mutex
+	cur *batch[T, R]
+
+	singles sync.Pool
+
+	flushes        atomic.Int64
+	items          atomic.Int64
+	sizeFlushes    atomic.Int64
+	timeoutFlushes atomic.Int64
+	maxOccupancy   atomic.Int64
+}
+
+// BatcherStats is a snapshot of a batcher's counters.
+type BatcherStats struct {
+	Flushes        int64
+	Items          int64
+	SizeFlushes    int64
+	TimeoutFlushes int64
+	MaxOccupancy   int64
+}
+
+// MeanOccupancy reports items per flush.
+func (s BatcherStats) MeanOccupancy() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Items) / float64(s.Flushes)
+}
+
+// NewBatcher builds a batcher over flush and registers its counters with
+// cfg's stats registry (if any) under site. cfg may be nil.
+func NewBatcher[T, R any](cfg *Config, site string, pol BatchPolicy, flush FlushFunc[T, R]) *Batcher[T, R] {
+	b := &Batcher[T, R]{pol: pol, flush: flush}
+	if cfg != nil {
+		cfg.RegisterBatcher(site, b.Stats)
+	}
+	return b
+}
+
+// Stats snapshots the batcher's counters.
+func (b *Batcher[T, R]) Stats() BatcherStats {
+	return BatcherStats{
+		Flushes:        b.flushes.Load(),
+		Items:          b.items.Load(),
+		SizeFlushes:    b.sizeFlushes.Load(),
+		TimeoutFlushes: b.timeoutFlushes.Load(),
+		MaxOccupancy:   b.maxOccupancy.Load(),
+	}
+}
+
+func (b *Batcher[T, R]) note(n int, reason FlushReason) {
+	b.flushes.Add(1)
+	b.items.Add(int64(n))
+	if reason == FlushSize {
+		b.sizeFlushes.Add(1)
+	} else {
+		b.timeoutFlushes.Add(1)
+	}
+	for {
+		cur := b.maxOccupancy.Load()
+		if int64(n) <= cur || b.maxOccupancy.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	if b.pol.OnFlush != nil {
+		b.pol.OnFlush(n, reason)
+	}
+}
+
+// Submit adds item to the current batch and blocks (in real time, via
+// scheduler yields or the leader's flush) until the batch containing it
+// has flushed. It returns the item's result and the flush error shared by
+// the whole group; the caller's clock lands at the group's virtual
+// completion time.
+func (b *Batcher[T, R]) Submit(c *Clock, item T) (R, error) {
+	if b.pol.MaxItems <= 1 {
+		// Disabled path: flush a batch of one on pooled scratch so the
+		// choke point (fault injection, tracing, counters) is identical
+		// but no grouping — and no allocation — happens.
+		s, _ := b.singles.Get().(*single[T, R])
+		if s == nil {
+			s = new(single[T, R])
+		}
+		s.items[0] = item
+		err := b.flush(c, s.items[:], s.out[:])
+		r := s.out[0]
+		var zt T
+		var zr R
+		s.items[0], s.out[0] = zt, zr
+		b.singles.Put(s)
+		b.note(1, FlushSize)
+		return r, err
+	}
+
+	b.mu.Lock()
+	my := b.cur
+	if my == nil || my.sealed || len(my.items) >= b.pol.MaxItems {
+		my = &batch[T, R]{
+			items:  make([]T, 0, b.pol.MaxItems),
+			arrive: make([]time.Duration, 0, b.pol.MaxItems),
+			done:   make(chan struct{}),
+		}
+		b.cur = my
+	}
+	idx := len(my.items)
+	my.items = append(my.items, item)
+	my.arrive = append(my.arrive, c.Now())
+	if idx > 0 {
+		// Follower: the leader flushes for us; join at the group's
+		// virtual completion time with the shared outcome.
+		b.mu.Unlock()
+		<-my.done
+		c.AdvanceTo(my.end)
+		return my.out[idx], my.err
+	}
+
+	// Leader: yield so concurrent submitters can pile on, bounded by the
+	// join budget. Yielding costs no virtual time.
+	budget := b.pol.JoinYields
+	if budget <= 0 {
+		budget = defaultJoinYields
+	}
+	reason := FlushTimeout
+	for yields := 0; ; yields++ {
+		if len(my.items) >= b.pol.MaxItems {
+			reason = FlushSize
+			break
+		}
+		if yields >= budget {
+			break
+		}
+		b.mu.Unlock()
+		runtime.Gosched()
+		b.mu.Lock()
+	}
+	my.sealed = true
+	if b.cur == my {
+		b.cur = nil
+	}
+	n := len(my.items)
+	b.mu.Unlock()
+
+	// The group completes no earlier than its latest arrival; a timeout
+	// flush additionally waits out the virtual window from the leader's
+	// arrival, whichever is later.
+	start := my.arrive[0]
+	for _, a := range my.arrive[1:] {
+		if a > start {
+			start = a
+		}
+	}
+	if reason == FlushTimeout && b.pol.Window > 0 {
+		if w := my.arrive[0] + b.pol.Window; w > start {
+			start = w
+		}
+	}
+	c.AdvanceTo(start)
+	my.out = make([]R, n)
+	my.err = b.flush(c, my.items, my.out)
+	my.end = c.Now()
+	b.note(n, reason)
+	close(my.done)
+	return my.out[0], my.err
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingFlush charges a fixed cost and returns each item doubled.
+func countingFlush(cost time.Duration, calls *int, sizes *[]int) FlushFunc[int, int] {
+	var mu sync.Mutex
+	return func(c *Clock, items []int, out []int) error {
+		mu.Lock()
+		*calls++
+		*sizes = append(*sizes, len(items))
+		mu.Unlock()
+		c.Advance(cost)
+		for i, v := range items {
+			out[i] = 2 * v
+		}
+		return nil
+	}
+}
+
+func TestBatcherFlushOnSize(t *testing.T) {
+	var calls int
+	var sizes []int
+	b := NewBatcher(nil, "test", BatchPolicy{MaxItems: 4, Window: time.Millisecond},
+		countingFlush(10*time.Microsecond, &calls, &sizes))
+
+	const workers = 8
+	var wg sync.WaitGroup
+	ends := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClock()
+			r, err := b.Submit(c, w)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+			if r != 2*w {
+				t.Errorf("worker %d: result %d, want %d", w, r, 2*w)
+			}
+			ends[w] = c.Now()
+		}(w)
+	}
+	wg.Wait()
+
+	s := b.Stats()
+	if s.Items != workers {
+		t.Fatalf("items = %d, want %d", s.Items, workers)
+	}
+	if calls != int(s.Flushes) {
+		t.Fatalf("flush calls %d != recorded flushes %d", calls, s.Flushes)
+	}
+	if s.MaxOccupancy > 4 {
+		t.Fatalf("occupancy %d exceeds MaxItems", s.MaxOccupancy)
+	}
+	for _, n := range sizes {
+		if n < 1 || n > 4 {
+			t.Fatalf("flush size %d out of range", n)
+		}
+	}
+	// Everyone in a batch wakes at the same virtual time ≥ flush cost.
+	for w, e := range ends {
+		if e < 10*time.Microsecond {
+			t.Fatalf("worker %d ended at %v, before flush cost", w, e)
+		}
+	}
+}
+
+func TestBatcherFlushOnTimeoutChargesWindow(t *testing.T) {
+	var calls int
+	var sizes []int
+	const window = 50 * time.Microsecond
+	b := NewBatcher(nil, "test", BatchPolicy{MaxItems: 8, Window: window, JoinYields: 4},
+		countingFlush(10*time.Microsecond, &calls, &sizes))
+
+	// A single submitter can never fill the batch: the leader must give
+	// up on its own (no hang) and charge the virtual window.
+	c := NewClock()
+	r, err := b.Submit(c, 21)
+	if err != nil || r != 42 {
+		t.Fatalf("Submit = %d, %v", r, err)
+	}
+	if want := window + 10*time.Microsecond; c.Now() != want {
+		t.Fatalf("clock = %v, want window+flush = %v", c.Now(), want)
+	}
+	s := b.Stats()
+	if s.TimeoutFlushes != 1 || s.SizeFlushes != 0 {
+		t.Fatalf("flush reasons = %ds/%dt, want 0s/1t", s.SizeFlushes, s.TimeoutFlushes)
+	}
+}
+
+func TestBatcherSharedError(t *testing.T) {
+	boom := errors.New("flush failed")
+	b := NewBatcher(nil, "test", BatchPolicy{MaxItems: 4, JoinYields: 1 << 20},
+		func(c *Clock, items []int, out []int) error { return boom })
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = b.Submit(NewClock(), w)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("worker %d error = %v, want shared flush error", w, err)
+		}
+	}
+}
+
+func TestBatcherOnFlushCallback(t *testing.T) {
+	var reasons []FlushReason
+	var occs []int
+	b := NewBatcher(nil, "test", BatchPolicy{
+		MaxItems: 4, Window: time.Microsecond, JoinYields: 2,
+		OnFlush: func(n int, r FlushReason) { occs = append(occs, n); reasons = append(reasons, r) },
+	}, func(c *Clock, items []int, out []int) error { return nil })
+
+	c := NewClock()
+	if _, err := b.Submit(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(reasons) != 1 || reasons[0] != FlushTimeout || occs[0] != 1 {
+		t.Fatalf("OnFlush saw %v %v, want one timeout flush of 1", occs, reasons)
+	}
+}
+
+func TestBatcherDisabledPathZeroAlloc(t *testing.T) {
+	b := NewBatcher(nil, "test", BatchPolicy{MaxItems: 1},
+		func(c *Clock, items []int, out []int) error {
+			out[0] = items[0] + 1
+			return nil
+		})
+	c := NewClock()
+	// Warm the pool.
+	if r, err := b.Submit(c, 1); err != nil || r != 2 {
+		t.Fatalf("Submit = %d, %v", r, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := b.Submit(c, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkBatcherDisabled(b *testing.B) {
+	bt := NewBatcher(nil, "bench", BatchPolicy{MaxItems: 1},
+		func(c *Clock, items []int, out []int) error {
+			out[0] = items[0]
+			return nil
+		})
+	c := NewClock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.Submit(c, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBatcherDeterministicCounters replays the same single-threaded
+// submission sequence twice and requires identical counters and identical
+// virtual completion times — the reproducibility property seeded fault
+// replays depend on.
+func TestBatcherDeterministicCounters(t *testing.T) {
+	run := func() (BatcherStats, time.Duration) {
+		var calls int
+		var sizes []int
+		b := NewBatcher(nil, "test", BatchPolicy{MaxItems: 4, Window: 20 * time.Microsecond, JoinYields: 2},
+			countingFlush(5*time.Microsecond, &calls, &sizes))
+		c := NewClock()
+		for i := 0; i < 16; i++ {
+			if _, err := b.Submit(c, i); err != nil {
+				t.Fatal(err)
+			}
+			c.Advance(time.Microsecond)
+		}
+		return b.Stats(), c.Now()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 {
+		t.Fatalf("counters differ across replays: %+v vs %+v", s1, s2)
+	}
+	if t1 != t2 {
+		t.Fatalf("virtual end differs across replays: %v vs %v", t1, t2)
+	}
+}

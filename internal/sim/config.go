@@ -27,6 +27,11 @@ type Config struct {
 	ObjPut LatencyModel
 	// RDMA one-sided verbs (READ/WRITE/CAS/FAA). CAS/FAA move 8 bytes.
 	RDMA LatencyModel
+	// RDMAPerWQE is the marginal cost of each additional work-queue entry
+	// in a doorbell-batched submission: a PostN of n verbs costs one RDMA
+	// base + the summed transfer terms + (n-1)·RDMAPerWQE, which is what
+	// makes batched posting cheaper than n individual doorbells.
+	RDMAPerWQE time.Duration
 	// RDMARPC is a two-sided SEND/RECV round trip including completion
 	// handling on both sides but excluding the remote handler's compute.
 	// It costs one network round trip (slightly above a one-sided verb
@@ -70,6 +75,14 @@ func (c *Config) RegisterMeter(site string, m *Meter) {
 	}
 }
 
+// RegisterBatcher registers a batcher's counter snapshot with the attached
+// stats registry, if any. NewBatcher calls this for you.
+func (c *Config) RegisterBatcher(site string, stats func() BatcherStats) {
+	if c.Stats != nil {
+		c.Stats.RegisterBatcher(site, stats)
+	}
+}
+
 // DefaultConfig returns the calibration described in DESIGN.md:
 //
 //	DRAM 100ns/25GBps · CXL 350ns/16GBps · PM read 300ns / write 500ns@2GBps
@@ -87,6 +100,7 @@ func DefaultConfig() *Config {
 		ObjGet:         LatencyModel{Base: 8 * time.Millisecond, BytesPerSec: 200 * MB},
 		ObjPut:         LatencyModel{Base: 12 * time.Millisecond, BytesPerSec: 200 * MB},
 		RDMA:           LatencyModel{Base: 2 * time.Microsecond, BytesPerSec: 12.5 * GB},
+		RDMAPerWQE:     100 * time.Nanosecond,
 		RDMARPC:        LatencyModel{Base: 3 * time.Microsecond, BytesPerSec: 12.5 * GB},
 		RemoteCPU:      500 * time.Nanosecond,
 		TCP:            LatencyModel{Base: 30 * time.Microsecond, BytesPerSec: 5 * GB},

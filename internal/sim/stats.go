@@ -35,10 +35,18 @@ type Registry struct {
 	mu    sync.RWMutex
 	sites map[string]*SiteStats
 
-	mmu    sync.Mutex
-	meters []MeterEntry
+	mmu      sync.Mutex
+	meters   []MeterEntry
+	batchers []BatcherEntry
 
 	maxEnd atomic.Int64 // latest virtual end time observed (elapsed proxy)
+}
+
+// BatcherEntry associates a batcher's counter snapshot with a site-style
+// name so the registry can report flush occupancy alongside latency sites.
+type BatcherEntry struct {
+	Site  string
+	Stats func() BatcherStats
 }
 
 // NewRegistry returns an empty registry.
@@ -84,6 +92,35 @@ func (r *Registry) RegisterMeter(site string, m *Meter) {
 	r.mmu.Lock()
 	r.meters = append(r.meters, MeterEntry{Site: site, M: m})
 	r.mmu.Unlock()
+}
+
+// RegisterBatcher attaches a batcher's counter snapshot under a site-style
+// name; flush counts, occupancy, and flush reasons for it appear in Table.
+// NewBatcher calls this through Config.RegisterBatcher when a registry is
+// attached.
+func (r *Registry) RegisterBatcher(site string, stats func() BatcherStats) {
+	if r == nil || stats == nil {
+		return
+	}
+	r.mmu.Lock()
+	r.batchers = append(r.batchers, BatcherEntry{Site: site, Stats: stats})
+	r.mmu.Unlock()
+}
+
+// Batcher returns the counter snapshot registered under site, or a zero
+// snapshot if none is.
+func (r *Registry) Batcher(site string) BatcherStats {
+	if r == nil {
+		return BatcherStats{}
+	}
+	r.mmu.Lock()
+	defer r.mmu.Unlock()
+	for _, e := range r.batchers {
+		if e.Site == site {
+			return e.Stats()
+		}
+	}
+	return BatcherStats{}
 }
 
 // Site returns the stats for one site, or nil if nothing was observed.
@@ -137,6 +174,7 @@ func (r *Registry) Table(title string) *metrics.Table {
 	elapsed := r.Elapsed()
 	r.mmu.Lock()
 	meters := append([]MeterEntry(nil), r.meters...)
+	batchers := append([]BatcherEntry(nil), r.batchers...)
 	r.mmu.Unlock()
 	for _, e := range meters {
 		if e.M.TotalOps() == 0 {
@@ -145,6 +183,20 @@ func (r *Registry) Table(title string) *metrics.Table {
 		t.Row(e.Site, e.M.TotalOps(), "-", "-", "-", "-",
 			fmt.Sprintf("%.2f", e.M.Utilization(elapsed)),
 			fmt.Sprintf("%.0f%%", 100*e.M.QueuedFraction()))
+	}
+	for _, e := range batchers {
+		s := e.Stats()
+		if s.Flushes == 0 {
+			continue
+		}
+		// Batcher rows reuse the latency columns for flush-shape info:
+		// count = flushes, p50 column = mean occupancy, p99 column = max
+		// occupancy, max column = size/timeout split.
+		t.Row(e.Site, s.Flushes,
+			fmt.Sprintf("occ %.1f", s.MeanOccupancy()),
+			fmt.Sprintf("max %d", s.MaxOccupancy),
+			fmt.Sprintf("%ds/%dt", s.SizeFlushes, s.TimeoutFlushes),
+			"-", "-", "-")
 	}
 	return t
 }

@@ -68,7 +68,7 @@ func (g *Generator) RunOn(e engine.Engine, c *sim.Clock, ops int) int {
 	committed := 0
 	for i := 0; i < ops; i++ {
 		op := g.Next()
-		err := engine.RunClosed(e, c, 3, func(tx engine.Tx) error {
+		err := engine.Run(e, c, engine.RunOpts{Retries: 3}, func(tx engine.Tx) error {
 			if op.Read {
 				_, err := tx.Read(op.Key)
 				return err
@@ -156,7 +156,7 @@ func (g *TPCCGen) RunOn(e engine.Engine, c *sim.Clock, n int) int {
 	committed := 0
 	for i := 0; i < n; i++ {
 		spec := g.Next()
-		err := engine.RunClosed(e, c, 3, func(tx engine.Tx) error {
+		err := engine.Run(e, c, engine.RunOpts{Retries: 3}, func(tx engine.Tx) error {
 			for _, k := range spec.Reads {
 				if _, err := tx.Read(k); err != nil {
 					return err
