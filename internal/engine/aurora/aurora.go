@@ -164,7 +164,9 @@ func (e *Engine) readKey(c *sim.Clock, pool *buffer.Pool) func(key uint64) ([]by
 
 // Execute implements engine.Engine (runs on the writer node).
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -223,13 +225,13 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		// whole batch. Per-transaction bytes still cross the fabric.
 		if _, err := e.gc.Submit(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.GroupCommits.Add(1)
 	} else {
 		if err := e.Volume.AppendLog(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.NetMsgs.Add(int64(e.Volume.Alive()))
 	}
@@ -251,7 +253,10 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 			}); err != nil {
-				return err
+				// The quorum append already made the commit durable; drop
+				// the stale cached page rather than surfacing an
+				// uncounted error.
+				e.pool.Invalidate(e.layout.PageOf(k))
 			}
 		}
 	}
@@ -260,16 +265,22 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 }
 
 // ReadReplica implements engine.Reader: a read-only transaction on reader
-// replica idx, served from its cache backed by the shared volume.
+// replica idx, served from its cache backed by the shared volume. Replica
+// reads follow the same accounting invariant as Execute: every attempt
+// lands in exactly one of Commits/Aborts.
 func (e *Engine) ReadReplica(c *sim.Clock, idx int, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	pool := e.readers[idx]
 	st := engine.NewStagedTx(e.readKey(c, pool))
 	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
 		return err
 	}
 	if !st.Empty() {
+		e.stats.Aborts.Add(1)
 		return engine.ErrReadOnly
 	}
+	e.stats.Commits.Add(1)
 	return nil
 }
 

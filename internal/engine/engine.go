@@ -7,10 +7,12 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/admission"
 )
 
 // Tx is the per-transaction handle given to workload closures.
@@ -64,13 +66,41 @@ var (
 	ErrConflict    = errors.New("engine: transaction conflict")
 	ErrReadOnly    = errors.New("engine: read-only replica")
 	ErrUnavailable = errors.New("engine: service unavailable")
+	// ErrShed is returned by Run when admission control refuses the
+	// transaction before it reaches the engine: the circuit breaker is
+	// open or the load shedder's in-flight watermark is full. Shed work
+	// charges no virtual time — fast-fail is the point.
+	ErrShed = errors.New("engine: shed by admission control")
 )
+
+// Unavail maps a substrate failure surfaced during commit to the engine
+// error contract: the caller sees ErrUnavailable either way, but an
+// admission-control shed keeps its sim.ErrAdmission sentinel in the chain.
+// Deliberate load shedding must stay distinguishable from an outage — a
+// circuit breaker watching ErrUnavailable would otherwise count a gate's
+// targeted sheds as node failures and convert them into blanket refusal.
+func Unavail(err error) error {
+	if errors.Is(err, sim.ErrAdmission) {
+		return fmt.Errorf("%w: %w", ErrUnavailable, err)
+	}
+	return ErrUnavailable
+}
 
 // Stats counts cross-component traffic attributable to the engine. All
 // fields are atomic; Stats is shared freely.
 type Stats struct {
+	// Attempts counts transaction executions offered to the engine: every
+	// Execute/ReadReplica entry plus every Run-level admission refusal.
+	// Each attempt lands in exactly one of Commits, Aborts, or Shed —
+	// Attempts == Commits + Aborts + Shed is the accounting invariant the
+	// conformance suite enforces.
+	Attempts    atomic.Int64
 	Commits     atomic.Int64
 	Aborts      atomic.Int64
+	// Shed counts attempts refused without doing work: engine-side
+	// unavailability (crashed node) and Run-level admission refusals
+	// (open breaker, full shedder, replica routing to a non-Reader).
+	Shed atomic.Int64
 	NetBytes    atomic.Int64 // bytes crossing the network fabric
 	NetMsgs     atomic.Int64
 	LogBytes    atomic.Int64 // bytes of log shipped
@@ -83,12 +113,18 @@ type Stats struct {
 	GroupFlushes   atomic.Int64 // combined flushes issued
 	FlushOnSize    atomic.Int64 // flushes triggered by a full batch
 	FlushOnTimeout atomic.Int64 // flushes triggered by the virtual window
+	// Retry/backoff counters (filled by Run).
+	Retries     atomic.Int64 // conflict re-executions Run performed
+	Backoffs    atomic.Int64 // backoff waits charged before a retry
+	BackoffWait atomic.Int64 // total virtual ns spent backing off
 }
 
 // Reset zeroes every counter.
 func (s *Stats) Reset() {
+	s.Attempts.Store(0)
 	s.Commits.Store(0)
 	s.Aborts.Store(0)
+	s.Shed.Store(0)
 	s.NetBytes.Store(0)
 	s.NetMsgs.Store(0)
 	s.LogBytes.Store(0)
@@ -100,6 +136,9 @@ func (s *Stats) Reset() {
 	s.GroupFlushes.Store(0)
 	s.FlushOnSize.Store(0)
 	s.FlushOnTimeout.Store(0)
+	s.Retries.Store(0)
+	s.Backoffs.Store(0)
+	s.BackoffWait.Store(0)
 }
 
 // BytesPerCommit reports average network bytes per committed transaction —
@@ -122,18 +161,68 @@ type RunOpts struct {
 	Retries int
 	// Replica, when > 0, runs the transaction read-only on read replica
 	// Replica-1 (the engine must implement Reader). 0 targets the
-	// primary.
+	// primary. A replica read that conflicts retries on the *same*
+	// replica with backoff (replica state only converges with time, so
+	// backing off is also what makes the retry likely to succeed); after
+	// Retries/Budget are exhausted the error surfaces to the caller,
+	// which may re-route. Requesting a replica from an engine without
+	// read replicas sheds immediately with ErrUnavailable.
 	Replica int
+	// Backoff is the clock-charged delay policy applied before every
+	// conflict retry. nil selects admission.Default() whenever
+	// Retries > 0 — backoff is deliberately opt-out, because zero-delay
+	// retrying livelocks the virtual-time model (failed attempts add
+	// meter demand without advancing the clock). Pass
+	// admission.NoBackoff to opt out explicitly.
+	Backoff *admission.Backoff
+	// Budget, when non-nil, is the per-client retry budget: each Run
+	// earns it, each retry spends from it, and a dry budget surfaces the
+	// last error instead of retrying. Share one Budget across a client's
+	// workers to bound global retry amplification.
+	Budget *admission.Budget
+	// Breaker, when non-nil, converts sustained ErrUnavailable into
+	// fast-fail: while open, Run sheds immediately with ErrShed instead
+	// of dispatching to a dead engine; a half-open probe closes it again.
+	Breaker *admission.Breaker
+	// Shed, when non-nil, bounds in-flight transactions: arrivals past
+	// its watermark fail immediately with ErrShed, charging no virtual
+	// time.
+	Shed *admission.Shedder
 }
+
+// defaultBackoff is the policy Run applies when Retries > 0 and
+// opts.Backoff is nil (stateless, so one shared value suffices).
+var defaultBackoff = admission.Default()
 
 // Run executes fn as one transaction on e per opts. It is the single
 // entry point workloads, experiments, and the conformance suite use; the
 // legacy Execute/RunClosed pair remains only as a shim.
+//
+// Run maintains the engine accounting invariant: every call adds, per
+// attempt, exactly one of Commits/Aborts (inside the engine) or Shed
+// (here, for admission refusals) to the engine's Stats, and Attempts
+// counts them all.
 func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
+	st := e.Stats()
+	if !opts.Breaker.Allow(c) {
+		st.Attempts.Add(1)
+		st.Shed.Add(1)
+		return ErrShed
+	}
+	if opts.Shed != nil {
+		if !opts.Shed.TryEnter() {
+			st.Attempts.Add(1)
+			st.Shed.Add(1)
+			return ErrShed
+		}
+		defer opts.Shed.Exit()
+	}
 	exec := e.Execute
 	if opts.Replica > 0 {
 		r, ok := e.(Reader)
 		if !ok {
+			st.Attempts.Add(1)
+			st.Shed.Add(1)
 			return ErrUnavailable
 		}
 		idx := opts.Replica - 1
@@ -141,14 +230,30 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 			return r.ReadReplica(c, idx, fn)
 		}
 	}
+	bo := opts.Backoff
+	if bo == nil && opts.Retries > 0 {
+		bo = defaultBackoff
+	}
+	opts.Budget.Earn()
 	var err error
-	for i := 0; i <= opts.Retries; i++ {
+	for attempt := 0; ; attempt++ {
 		err = exec(c, fn)
-		if !errors.Is(err, ErrConflict) {
+		// A shed that surfaces as unavailable (engine.Unavail preserving
+		// sim.ErrAdmission) is the gate doing its job, not an outage — it
+		// must not push the breaker toward open.
+		opts.Breaker.Record(c, errors.Is(err, ErrUnavailable) && !errors.Is(err, sim.ErrAdmission))
+		if !errors.Is(err, ErrConflict) || attempt >= opts.Retries {
 			return err
 		}
+		if !opts.Budget.TrySpend() {
+			return err
+		}
+		st.Retries.Add(1)
+		if d := bo.Wait(c, attempt); d > 0 {
+			st.Backoffs.Add(1)
+			st.BackoffWait.Add(int64(d))
+		}
 	}
-	return err
 }
 
 // RunClosed executes fn with automatic retry on conflicts, up to retries

@@ -5,12 +5,15 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/admission"
 )
 
 type flakyEngine struct {
-	failures     int
+	failures     int // ErrConflict this many times before succeeding
+	unavailable  bool
 	calls        int
 	replicaCalls []int
 	stats        Stats
@@ -24,13 +27,23 @@ type nopTx struct{}
 func (nopTx) Read(uint64) ([]byte, error) { return nil, nil }
 func (nopTx) Write(uint64, []byte) error  { return nil }
 
+// Execute models a conflict-prone engine, charging no virtual time of its
+// own — which is exactly what exposes a zero-delay retry loop. It keeps
+// the full attempts accounting a real engine must.
 func (f *flakyEngine) Execute(c *sim.Clock, fn func(tx Tx) error) error {
 	f.calls++
+	f.stats.Attempts.Add(1)
+	if f.unavailable {
+		f.stats.Shed.Add(1)
+		return ErrUnavailable
+	}
 	if f.failures > 0 {
 		f.failures--
+		f.stats.Aborts.Add(1)
 		return ErrConflict
 	}
 	if err := fn(nopTx{}); err != nil {
+		f.stats.Aborts.Add(1)
 		return err
 	}
 	f.stats.Commits.Add(1)
@@ -38,11 +51,25 @@ func (f *flakyEngine) Execute(c *sim.Clock, fn func(tx Tx) error) error {
 }
 
 // flakyReader adds read replicas to flakyEngine.
-type flakyReader struct{ flakyEngine }
+type flakyReader struct {
+	flakyEngine
+	replicaFailures int
+}
 
 func (f *flakyReader) ReadReplica(c *sim.Clock, idx int, fn func(tx Tx) error) error {
 	f.replicaCalls = append(f.replicaCalls, idx)
-	return fn(nopTx{})
+	f.stats.Attempts.Add(1)
+	if f.replicaFailures > 0 {
+		f.replicaFailures--
+		f.stats.Aborts.Add(1)
+		return ErrConflict
+	}
+	if err := fn(nopTx{}); err != nil {
+		f.stats.Aborts.Add(1)
+		return err
+	}
+	f.stats.Commits.Add(1)
+	return nil
 }
 
 func TestRunRetriesConflicts(t *testing.T) {
@@ -106,6 +133,168 @@ func TestRunReplicaOnNonReader(t *testing.T) {
 	err := Run(e, sim.NewClock(), RunOpts{Replica: 1}, func(tx Tx) error { return nil })
 	if !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestRunConflictRetryChargesClock is the zero-delay-livelock regression
+// test: before the fix, Run's retry loop re-executed conflicted
+// transactions without advancing virtual time at all, so a conflict-prone
+// engine that charges no time of its own left the clock at zero — the
+// retry storm was free, inflating throughput and starving every
+// window-based policy (group commit, meters) of elapsed time. With
+// default-on backoff, each retry must charge a jittered delay.
+func TestRunConflictRetryChargesClock(t *testing.T) {
+	e := &flakyEngine{failures: 3}
+	c := sim.NewClock()
+	if err := Run(e, c, RunOpts{Retries: 5}, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Now() == 0 {
+		t.Fatal("3 conflict retries advanced the clock by zero: the retry loop is free again")
+	}
+	st := e.Stats()
+	if st.Retries.Load() != 3 || st.Backoffs.Load() != 3 || st.BackoffWait.Load() != int64(c.Now()) {
+		t.Fatalf("retry telemetry = retries %d backoffs %d wait %d (clock %v)",
+			st.Retries.Load(), st.Backoffs.Load(), st.BackoffWait.Load(), c.Now())
+	}
+}
+
+// TestRunNoBackoffOptOut pins the explicit escape hatch: admission.NoBackoff
+// restores the pre-fix zero-delay behavior (experiments use it to exhibit
+// the retry storm on purpose).
+func TestRunNoBackoffOptOut(t *testing.T) {
+	e := &flakyEngine{failures: 3}
+	c := sim.NewClock()
+	if err := Run(e, c, RunOpts{Retries: 5, Backoff: admission.NoBackoff}, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("NoBackoff charged %v", c.Now())
+	}
+	if got := e.stats.Backoffs.Load(); got != 0 {
+		t.Fatalf("backoffs = %d, want 0", got)
+	}
+}
+
+// TestRunBudgetSurfacesErrorWhenDry pins the retry-budget semantics: a
+// dry budget stops retrying and surfaces the last error, bounding retry
+// amplification no matter how large Retries is.
+func TestRunBudgetSurfacesErrorWhenDry(t *testing.T) {
+	e := &flakyEngine{failures: 100}
+	b := admission.NewBudget(0, 2) // 2 burst tokens, earning nothing
+	err := Run(e, sim.NewClock(), RunOpts{Retries: 50, Budget: b}, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want surfaced ErrConflict", err)
+	}
+	if e.calls != 3 {
+		t.Fatalf("calls = %d, want 3 (first attempt + 2 budgeted retries)", e.calls)
+	}
+}
+
+// TestRunBreakerFastFails pins breaker wiring: sustained ErrUnavailable
+// trips the breaker, after which Run sheds with ErrShed without touching
+// the engine, and the shed lands in exactly one counter.
+func TestRunBreakerFastFails(t *testing.T) {
+	e := &flakyEngine{unavailable: true}
+	br := admission.NewBreaker(2, time.Millisecond)
+	c := sim.NewClock()
+	for i := 0; i < 2; i++ {
+		if err := Run(e, c, RunOpts{Breaker: br}, func(tx Tx) error { return nil }); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("run %d err = %v, want ErrUnavailable", i, err)
+		}
+	}
+	err := Run(e, c, RunOpts{Breaker: br}, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed from the open breaker", err)
+	}
+	if e.calls != 2 {
+		t.Fatalf("calls = %d, want 2 (fast-fail must not reach the engine)", e.calls)
+	}
+	st := e.Stats()
+	if a, cm, ab, sh := st.Attempts.Load(), st.Commits.Load(), st.Aborts.Load(), st.Shed.Load(); a != cm+ab+sh || sh != 3 {
+		t.Fatalf("accounting attempts %d = commits %d + aborts %d + shed %d violated (want shed 3)", a, cm, ab, sh)
+	}
+	// After the virtual cooldown the half-open probe reaches the engine.
+	e.unavailable = false
+	c.Advance(time.Millisecond)
+	if err := Run(e, c, RunOpts{Breaker: br}, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("post-cooldown err = %v", err)
+	}
+	if e.calls != 3 {
+		t.Fatalf("calls = %d, want 3 (probe reaches the engine)", e.calls)
+	}
+}
+
+// TestRunShedderRejectsAtWatermark pins the load-shedding path: with the
+// in-flight watermark full, Run fails fast with ErrShed and counts it.
+func TestRunShedderRejectsAtWatermark(t *testing.T) {
+	e := &flakyEngine{}
+	sh := admission.NewShedder(1)
+	if !sh.TryEnter() {
+		t.Fatal("setup: could not occupy the only slot")
+	}
+	err := Run(e, sim.NewClock(), RunOpts{Shed: sh}, func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if e.calls != 0 {
+		t.Fatal("shed run must not reach the engine")
+	}
+	if e.stats.Shed.Load() != 1 || e.stats.Attempts.Load() != 1 {
+		t.Fatalf("shed accounting = attempts %d shed %d", e.stats.Attempts.Load(), e.stats.Shed.Load())
+	}
+	sh.Exit()
+	if err := Run(e, sim.NewClock(), RunOpts{Shed: sh}, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("post-exit err = %v", err)
+	}
+}
+
+// TestRunReplicaConflictRetriesSameReplicaWithBackoff pins the intended
+// Replica+Retries semantics: conflicts retry the same replica (its state
+// converges with time, which the backoff buys), the clock advances, and
+// budget exhaustion surfaces the error for the caller to re-route.
+func TestRunReplicaConflictRetriesSameReplicaWithBackoff(t *testing.T) {
+	e := &flakyReader{replicaFailures: 2}
+	c := sim.NewClock()
+	if err := Run(e, c, RunOpts{Replica: 2, Retries: 4}, func(tx Tx) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if len(e.replicaCalls) != 3 {
+		t.Fatalf("replica calls = %v, want 3 attempts", e.replicaCalls)
+	}
+	for _, idx := range e.replicaCalls {
+		if idx != 1 {
+			t.Fatalf("retry switched replicas: calls = %v", e.replicaCalls)
+		}
+	}
+	if e.calls != 0 {
+		t.Fatal("replica retries must not fall back to the primary")
+	}
+	if c.Now() == 0 {
+		t.Fatal("replica conflict retries charged no virtual time")
+	}
+
+	// Budget exhaustion surfaces the conflict instead of retrying forever.
+	e2 := &flakyReader{replicaFailures: 100}
+	err := Run(e2, sim.NewClock(), RunOpts{Replica: 1, Retries: 50, Budget: admission.NewBudget(0, 1)},
+		func(tx Tx) error { return nil })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want surfaced ErrConflict after budget", err)
+	}
+	if len(e2.replicaCalls) != 2 {
+		t.Fatalf("replica calls = %d, want 2 (first + 1 budgeted retry)", len(e2.replicaCalls))
+	}
+}
+
+// TestRunReplicaOnNonReaderCountsShed extends the routing test: the
+// refusal must land in the accounting (attempts == shed == 1).
+func TestRunReplicaOnNonReaderCountsShed(t *testing.T) {
+	e := &flakyEngine{}
+	if err := Run(e, sim.NewClock(), RunOpts{Replica: 1}, func(tx Tx) error { return nil }); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	if e.stats.Attempts.Load() != 1 || e.stats.Shed.Load() != 1 {
+		t.Fatalf("accounting = attempts %d shed %d, want 1/1", e.stats.Attempts.Load(), e.stats.Shed.Load())
 	}
 }
 

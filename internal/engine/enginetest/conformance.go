@@ -332,6 +332,17 @@ func RunConformance(t *testing.T, factory Factory) {
 		})
 	}
 
+	// Overload: a hot-key contention storm under each fault profile with
+	// the full admission stack engaged (backoff, retry budget, shedder) —
+	// checks liveness (bounded virtual makespan; the pre-fix zero-delay
+	// retry loop livelocked here) and attempts-accounting conservation.
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Overload/"+p.Name, func(t *testing.T) {
+			runOverloadProfile(t, factory, p, seed)
+		})
+	}
+
 	// Batched variants: engines supporting group commit re-run the seeded
 	// suite with batching enabled, so fault replays also cover grouped
 	// flushes (one substrate fault decision shared by every rider).
@@ -408,6 +419,7 @@ func runFaultProfile(t *testing.T, factory Factory, p fault.Profile, seed int64,
 	}
 	reportViolations(t, seed, label, verifyFinalState(e, res))
 	crashRecoverVerify(t, e, res, seed, label)
+	checkConservation(t, e, label, seed)
 	if t.Failed() {
 		t.Logf("per-site telemetry under profile %q:\n%s", label, cfg.Stats.String())
 	}

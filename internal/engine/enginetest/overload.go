@@ -1,0 +1,95 @@
+package enginetest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/disagglab/disagg/internal/engine"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/admission"
+	"github.com/disagglab/disagg/internal/sim/fault"
+)
+
+// Overload workload shape: many workers hammering few hot keys, the
+// regime where the pre-fix zero-delay retry loop livelocked. Unlike the
+// base conformance workload there is no per-key ownership, so this
+// variant checks liveness and accounting, not value histories.
+const (
+	ovWorkers   = 8
+	ovHotKeys   = 2
+	ovOps       = 24
+	ovKeyBase   = 60_000
+	ovRetries   = 12
+	ovTimeBound = 30 * time.Second // virtual; a livelocked run never gets here
+)
+
+// checkConservation asserts the engine accounting invariant the overload
+// layer introduced: every attempt offered to the engine landed in exactly
+// one of Commits, Aborts, or Shed.
+func checkConservation(t *testing.T, e engine.Engine, label string, seed int64) {
+	t.Helper()
+	st := e.Stats()
+	a, cm, ab, sh := st.Attempts.Load(), st.Commits.Load(), st.Aborts.Load(), st.Shed.Load()
+	if a != cm+ab+sh {
+		t.Errorf("%s: attempts accounting violated: attempts %d != commits %d + aborts %d + shed %d (replay: -seed=%d)",
+			label, a, cm, ab, sh, seed)
+	}
+	if a == 0 {
+		t.Errorf("%s: engine counted no attempts — the conservation check is vacuous", label)
+	}
+}
+
+// runOverloadProfile drives the hot-key storm under one fault profile with
+// the full admission stack engaged (default backoff, shared retry budget,
+// load shedder) and checks that (a) the run terminates within a bounded
+// virtual makespan — failed attempts must charge time — and (b) the
+// attempts accounting conserves.
+func runOverloadProfile(t *testing.T, factory Factory, p fault.Profile, seed int64) {
+	t.Helper()
+	layout := Layout(t)
+	inj := fault.New(seed, p)
+	cfg := sim.DefaultConfig()
+	cfg.Fault = inj
+	cfg.Stats = sim.NewRegistry()
+	e := factory(t, cfg)
+
+	budget := admission.NewBudget(0.5, 8)
+	shed := admission.NewShedder(ovWorkers / 2)
+	opts := engine.RunOpts{Retries: ovRetries, Budget: budget, Shed: shed}
+
+	res := sim.RunGroup(ovWorkers, func(id int, c *sim.Clock) int {
+		rng := sim.NewRand(seed, id)
+		done := 0
+		for op := 0; op < ovOps; op++ {
+			key := ovKeyBase + uint64(rng.Intn(ovHotKeys))
+			v := confVal(layout, key, uint64(id), uint64(op+1))
+			if err := engine.Run(e, c, opts, func(tx engine.Tx) error {
+				cur, err := tx.Read(key)
+				if err != nil {
+					return err
+				}
+				_ = cur
+				return tx.Write(key, v)
+			}); err == nil {
+				done++
+			}
+		}
+		return done
+	})
+
+	st := e.Stats()
+	t.Logf("profile %s: makespan=%v commits=%d aborts=%d shed=%d retries=%d backoffWait=%v budget=%+v shedder=%+v",
+		p.Name, res.MakeSpan, st.Commits.Load(), st.Aborts.Load(), st.Shed.Load(),
+		st.Retries.Load(), time.Duration(st.BackoffWait.Load()), budget.Stats(), shed.Stats())
+
+	if res.MakeSpan <= 0 {
+		t.Errorf("profile %s: overload run charged no virtual time — retries are free again (seed %d)", p.Name, seed)
+	}
+	if res.MakeSpan > ovTimeBound {
+		t.Errorf("profile %s: virtual makespan %v exceeds bound %v (seed %d)", p.Name, res.MakeSpan, ovTimeBound, seed)
+	}
+	checkConservation(t, e, "overload/"+p.Name, seed)
+	if t.Failed() {
+		t.Logf("per-site telemetry under profile %q:\n%s", p.Name, cfg.Stats.String())
+	}
+}

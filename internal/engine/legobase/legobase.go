@@ -122,7 +122,9 @@ func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -183,6 +185,11 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		if err := e.Tiers.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 		}); err != nil {
+			// A failed tier apply (e.g. an injected fault on the remote
+			// pull) leaves the commit durable in the log but unapplied to
+			// the cache hierarchy; surface it as an (unacknowledged)
+			// abort so the attempt lands in exactly one counter.
+			e.stats.Aborts.Add(1)
 			return err
 		}
 	}

@@ -99,7 +99,9 @@ func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -153,7 +155,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 		}); err != nil {
-			return err
+			// The fsynced WAL already holds the commit; drop the stale
+			// page and let the next reader replay it from the log.
+			e.pool.Invalidate(e.layout.PageOf(k))
 		}
 	}
 	e.stats.Commits.Add(1)

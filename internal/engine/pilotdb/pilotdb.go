@@ -193,7 +193,9 @@ func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -245,14 +247,14 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		// exactly that).
 		if err := e.PMLog.Append(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 	} else {
 		// Server-driven: a two-sided RPC engages the PM server CPU.
 		c.Advance(e.cfg.RDMARPC.Cost(logBytes) + e.cfg.RemoteCPU)
 		if err := e.PMLog.Append(sim.NewClock(), recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		c.Advance(e.cfg.PMWrite.Cost(logBytes))
 	}
@@ -285,7 +287,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 			}); err != nil {
-				return err
+				// The PM log already holds the commit; drop the stale
+				// cached page rather than surfacing an uncounted error.
+				e.pool.Invalidate(e.layout.PageOf(k))
 			}
 		}
 	}

@@ -172,8 +172,10 @@ func (e *Engine) readKeyOn(c *sim.Clock, n *computeNode) func(key uint64) ([]byt
 
 // Execute implements engine.Engine: runs on the primary.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	n := e.nodes[e.primary.Load()]
 	if n.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -222,7 +224,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	recs = append(recs, commit)
 	if err := e.Volume.AppendLog(c, recs); err != nil {
 		e.stats.Aborts.Add(1)
-		return engine.ErrUnavailable
+		return engine.Unavail(err)
 	}
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.stats.NetBytes.Add(int64(logBytes))
@@ -261,6 +263,11 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	for _, id := range pageIDs {
 		data, err := e.getPage(c, n, id)
 		if err != nil {
+			// The volume append is durable but the shared pool never saw
+			// the update: the page LSN directory stays put, so readers
+			// keep a consistent pre-update view. Surface the failure as
+			// an (unacknowledged) abort.
+			e.stats.Aborts.Add(1)
 			return err
 		}
 		for _, k := range keys {
@@ -268,10 +275,12 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 				continue
 			}
 			if err := e.layout.WriteValue(data, k, writes[k], uint64(lastLSN)); err != nil {
+				e.stats.Aborts.Add(1)
 				return err
 			}
 		}
 		if err := e.Shared.Put(c, id, data); err != nil {
+			e.stats.Aborts.Add(1)
 			return err
 		}
 		e.stats.NetBytes.Add(int64(len(data)))
@@ -299,17 +308,22 @@ func pageLatchKey(id page.ID) uint64 { return 1<<63 | uint64(id) }
 // ReadReplica implements engine.Reader: read-only transaction on a
 // secondary — always fresh, no replay.
 func (e *Engine) ReadReplica(c *sim.Clock, idx int, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	n := e.nodes[idx]
 	if n.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	st := engine.NewStagedTx(e.readKeyOn(c, n))
 	if err := fn(st); err != nil {
+		e.stats.Aborts.Add(1)
 		return err
 	}
 	if !st.Empty() {
+		e.stats.Aborts.Add(1)
 		return engine.ErrReadOnly
 	}
+	e.stats.Commits.Add(1)
 	return nil
 }
 

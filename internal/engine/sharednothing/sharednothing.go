@@ -84,6 +84,7 @@ func (e *Engine) partOf(key uint64) (int, *partition) {
 // the first key touched; remote accesses pay network round trips, and
 // multi-partition commits pay 2PC.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	txID := e.nextTx.Add(1)
 	coord := -1
 	touch := func(key uint64) int {

@@ -85,7 +85,9 @@ func (e *KV) readKey(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *KV) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -138,7 +140,7 @@ func (e *KV) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	// still surface at recovery).
 	if err := e.Store.Put(c, segKey(lastLSN), encoded); err != nil {
 		e.stats.Aborts.Add(1)
-		return engine.ErrUnavailable
+		return engine.Unavail(err)
 	}
 	e.stats.LogBytes.Add(int64(len(encoded)))
 	e.stats.NetBytes.Add(int64(len(encoded)))

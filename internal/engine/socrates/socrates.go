@@ -171,7 +171,9 @@ func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -221,13 +223,13 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	if e.gc != nil {
 		if _, err := e.gc.Submit(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.GroupCommits.Add(1)
 	} else {
 		if err := e.XLOG.Append(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.NetMsgs.Add(1)
 	}
@@ -255,7 +257,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 			}); err != nil {
-				return err
+				// XLOG already made the commit durable; drop the stale
+				// cached page rather than surfacing an uncounted error.
+				e.pool.Invalidate(e.layout.PageOf(k))
 			}
 		}
 	}

@@ -161,7 +161,9 @@ func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 
 // Execute implements engine.Engine.
 func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
+	e.stats.Attempts.Add(1)
 	if e.crashed.Load() {
+		e.stats.Shed.Add(1)
 		return engine.ErrUnavailable
 	}
 	txID := e.nextTx.Add(1)
@@ -212,13 +214,13 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	if e.gc != nil {
 		if _, err := e.gc.Submit(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.GroupCommits.Add(1)
 	} else {
 		if err := e.LogStores.Append(c, recs); err != nil {
 			e.stats.Aborts.Add(1)
-			return engine.ErrUnavailable
+			return engine.Unavail(err)
 		}
 		e.stats.NetMsgs.Add(logCopies)
 	}
@@ -226,7 +228,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	// one page store (Taurus's writer-load optimization), charged here.
 	if err := e.PageStores.WriteToOne(c, recs); err != nil {
 		e.stats.Aborts.Add(1)
-		return engine.ErrUnavailable
+		return engine.Unavail(err)
 	}
 	// Fan-out: all (3) log stores receive the batch, but only ONE page
 	// store does — Taurus's frugality vs Aurora's 6-way fan-out.
@@ -247,7 +249,10 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
 			}); err != nil {
-				return err
+				// The commit is already quorum-durable; a failed local
+				// apply only stales the cached page. Drop it so the next
+				// reader refetches instead of surfacing an uncounted error.
+				e.pool.Invalidate(e.layout.PageOf(k))
 			}
 		}
 	}

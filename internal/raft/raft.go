@@ -128,6 +128,11 @@ func (g *Group) AppendBatch(c *sim.Clock, datas [][]byte) (int, error) {
 	if len(datas) == 0 {
 		return 0, nil
 	}
+	// Admission gate on the replication meter: shed the append under
+	// overload before the fault decision and the replication round.
+	if err := g.cfg.Admit(c, "raft.append", g.meter); err != nil {
+		return 0, err
+	}
 	op := g.cfg.Begin(c, "raft.append")
 	f := g.cfg.Inject(c, "raft.append")
 	if f.Drop {

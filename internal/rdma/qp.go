@@ -123,6 +123,11 @@ func (q *QP) post(c *sim.Clock, site string, verbs []Verb) error {
 	if len(verbs) == 0 {
 		return nil
 	}
+	// Admission gate on the target NIC: under overload the gate sheds the
+	// doorbell before any fault decision or meter charge.
+	if err := q.cfg.Admit(c, site, q.node.NIC); err != nil {
+		return err
+	}
 	op := q.cfg.Begin(c, site)
 	o := q.cfg.Inject(c, site)
 	if o.Drop || o.Torn {
@@ -322,6 +327,11 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 	if err := q.alive(); err != nil {
 		return nil, err
 	}
+	// Admission gate for two-sided RPCs (the memnode control plane rides
+	// this path): shed before the fault decision and the NIC/CPU charges.
+	if err := q.cfg.Admit(c, "rdma.call", q.node.NIC); err != nil {
+		return nil, err
+	}
 	op := q.cfg.Begin(c, "rdma.call")
 	if o := q.cfg.Inject(c, "rdma.call"); o.Drop || o.Torn {
 		op.End(0)
@@ -351,6 +361,9 @@ func (q *QP) Call(c *sim.Clock, name string, req []byte) ([]byte, error) {
 // before replying. One round trip + remote CPU + PM write.
 func (q *QP) CallPersist(c *sim.Clock, addr uint64, p []byte) error {
 	if err := q.alive(); err != nil {
+		return err
+	}
+	if err := q.cfg.Admit(c, "rdma.call", q.node.NIC); err != nil {
 		return err
 	}
 	op := q.cfg.Begin(c, "rdma.call")

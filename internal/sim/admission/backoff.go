@@ -1,0 +1,100 @@
+// Package admission is the reusable overload-control layer for the
+// simulated disaggregated stack: capped jittered exponential backoff
+// charged to the virtual clock, per-client retry budgets, a circuit
+// breaker that converts sustained unavailability into fast-fail with
+// half-open probing, queue-depth load shedding, and congestion-watermark
+// admission gates fed by sim.Meter's ρ and queued-fraction signals.
+//
+// The pieces compose but do not require each other: engine.Run wires
+// backoff/budget/breaker/shedding around transaction attempts, while Gate
+// plugs into sim.Config.Admission so substrate choke points (RDMA post,
+// log-store appends, quorum/raft appends) shed before charging any time.
+// Everything is deterministic given the virtual clock — jitter is derived
+// by hashing (virtual now, attempt), not from a seeded RNG, so reruns of
+// a seeded workload replay identical backoff schedules.
+package admission
+
+import (
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Backoff is a capped, jittered exponential backoff policy. The zero
+// value waits zero time on every attempt — that is the pre-admission
+// "retry immediately" behavior, available explicitly as NoBackoff for
+// experiments that want to exhibit the retry storm.
+//
+// Backoff is stateless (Wait is a pure function of the clock and attempt
+// number), so one policy value is safely shared by every worker.
+type Backoff struct {
+	// Base is the mean delay before the first retry (attempt 0).
+	Base time.Duration
+	// Cap bounds the exponential growth.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier; values <= 1 keep the
+	// delay at Base.
+	Factor float64
+}
+
+// NoBackoff is the explicit zero-delay policy: retries are immediate and
+// charge no virtual time. Passing it to engine.RunOpts opts out of the
+// default backoff — this is what a retry storm looks like.
+var NoBackoff = &Backoff{}
+
+// Default returns the policy engine.Run applies when Retries > 0 and no
+// explicit Backoff is given: 5µs base (a few fabric round trips), doubling
+// per attempt, capped at 2ms.
+func Default() *Backoff {
+	return &Backoff{Base: 5 * time.Microsecond, Cap: 2 * time.Millisecond, Factor: 2}
+}
+
+// Delay returns the jittered delay for the given retry attempt (0-based)
+// at virtual time now, without charging it anywhere. The deterministic
+// full-range jitter draws from [delay/2, delay) by hashing (now, attempt):
+// concurrent workers whose clocks have drifted apart — which contention
+// guarantees — decorrelate, while a replay of the same seeded workload
+// reproduces the exact schedule.
+func (b *Backoff) Delay(now time.Duration, attempt int) time.Duration {
+	if b == nil || b.Base <= 0 {
+		return 0
+	}
+	d := float64(b.Base)
+	if b.Factor > 1 {
+		for i := 0; i < attempt; i++ {
+			d *= b.Factor
+			if d >= float64(b.Cap) {
+				break
+			}
+		}
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	// Map the hash to [0.5, 1.0) of the computed delay.
+	u := float64(mix64(uint64(now)+0x9e3779b97f4a7c15*uint64(attempt+1))>>11) / float64(1<<53)
+	return time.Duration(d * (0.5 + 0.5*u))
+}
+
+// Wait charges the jittered delay for attempt to the worker's virtual
+// clock and returns what it charged. This is the whole point of the
+// policy: failed work must consume virtual time, or the meters see
+// infinite offered load at zero cost and the simulation livelocks.
+func (b *Backoff) Wait(c *sim.Clock, attempt int) time.Duration {
+	d := b.Delay(c.Now(), attempt)
+	if d > 0 {
+		c.Advance(d)
+	}
+	return d
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality avalanche of a
+// 64-bit value, giving deterministic jitter with no RNG state to share.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

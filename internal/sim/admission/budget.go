@@ -1,0 +1,102 @@
+package admission
+
+import "sync/atomic"
+
+// budgetScale fixes the token fixed-point: tokens are stored ×1024 so a
+// fractional earn ratio accumulates without floats in the hot path.
+const budgetScale = 1024
+
+// Budget is a client-side retry budget (the Finagle/"retry budget"
+// design): every first attempt earns Ratio tokens, every retry spends
+// one. When the budget is dry, retries stop and the last error surfaces —
+// so a congested system sees at most (1 + Ratio)× its offered load
+// instead of the (1 + Retries)× amplification of unconditional retrying.
+//
+// A Budget is shared by all workers of one logical client; all methods
+// are safe for concurrent use. A nil *Budget never refuses a retry.
+type Budget struct {
+	ratio int64 // tokens earned per first attempt, ×budgetScale
+	max   int64 // token cap, ×budgetScale
+	tok   atomic.Int64
+
+	earned  atomic.Int64 // first attempts observed
+	spent   atomic.Int64 // retries paid for
+	refused atomic.Int64 // retries refused dry
+}
+
+// NewBudget returns a budget earning ratio tokens per first attempt
+// (e.g. 0.5 allows one retry per two requests in steady state), seeded
+// and capped with burst whole tokens so cold starts and short error
+// bursts can still retry.
+func NewBudget(ratio float64, burst int) *Budget {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &Budget{ratio: int64(ratio * budgetScale), max: int64(burst) * budgetScale}
+	b.tok.Store(b.max)
+	return b
+}
+
+// Earn credits the budget for one first attempt. engine.Run calls this
+// once per Run, before any retrying.
+func (b *Budget) Earn() {
+	if b == nil {
+		return
+	}
+	b.earned.Add(1)
+	for {
+		cur := b.tok.Load()
+		next := cur + b.ratio
+		if next > b.max {
+			next = b.max
+		}
+		if next == cur || b.tok.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// TrySpend pays for one retry, reporting false (and leaving the budget
+// untouched) when fewer than one whole token remains.
+func (b *Budget) TrySpend() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.tok.Load()
+		if cur < budgetScale {
+			b.refused.Add(1)
+			return false
+		}
+		if b.tok.CompareAndSwap(cur, cur-budgetScale) {
+			b.spent.Add(1)
+			return true
+		}
+	}
+}
+
+// Tokens reports the whole tokens currently available.
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	return float64(b.tok.Load()) / budgetScale
+}
+
+// BudgetStats is a counter snapshot of a budget's activity.
+type BudgetStats struct {
+	Earned  int64 // first attempts credited
+	Spent   int64 // retries paid
+	Refused int64 // retries refused with a dry budget
+}
+
+// Stats snapshots the budget's counters.
+func (b *Budget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	return BudgetStats{Earned: b.earned.Load(), Spent: b.spent.Load(), Refused: b.refused.Load()}
+}

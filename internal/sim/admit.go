@@ -1,0 +1,37 @@
+package sim
+
+import "errors"
+
+// ErrAdmission is the sentinel wrapped by every admission-control
+// rejection: a substrate choke point refused the operation before doing
+// any work because its congestion signals (Meter ρ, queued fraction)
+// crossed the configured watermark. Callers distinguish a shed from a
+// fault or a conflict with errors.Is(err, sim.ErrAdmission).
+var ErrAdmission = errors.New("sim: admission control shed")
+
+// Admitter is consulted by substrate choke points (RDMA post, log-store
+// appends, memnode RPCs) before charging any virtual time. The substrate
+// passes its own contention meter so the gate can read the live ρ and
+// queued-fraction signals for that resource; m may be nil for sites
+// without a meter, in which case the gate can only use per-site state.
+//
+// An Admitter must be safe for concurrent use from many worker clocks.
+// A non-nil error (wrapping ErrAdmission) rejects the operation with no
+// virtual time charged — fast-fail is the point of shedding.
+//
+// The seeded gate implementation lives in internal/sim/admission; keeping
+// only the interface here mirrors the FaultInjector split and avoids an
+// import cycle.
+type Admitter interface {
+	Admit(c *Clock, site string, m *Meter) error
+}
+
+// Admit consults the configured admission controller, if any. Substrates
+// call this at the same choke points where they Begin/Inject, passing the
+// meter the operation is about to charge. Nil controller admits all.
+func (c *Config) Admit(clk *Clock, site string, m *Meter) error {
+	if c.Admission == nil {
+		return nil
+	}
+	return c.Admission.Admit(clk, site, m)
+}

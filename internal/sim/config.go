@@ -57,6 +57,11 @@ type Config struct {
 	// inject drops, latency spikes, duplicate deliveries, and torn
 	// appends. See internal/sim/fault for the seeded implementation.
 	Fault FaultInjector
+	// Admission, when non-nil, is consulted by substrate choke points
+	// (RDMA post/call, log-store appends, raft/volume quorum appends)
+	// before any virtual time is charged; it may shed the operation based
+	// on the resource meter's congestion signals. See internal/sim/admission.
+	Admission Admitter
 	// Stats, when non-nil, receives a per-site latency/byte observation
 	// from every instrumented substrate operation (via Begin/Op.End), and
 	// substrate constructors register their contention meters with it.
@@ -80,6 +85,14 @@ func (c *Config) RegisterMeter(site string, m *Meter) {
 func (c *Config) RegisterBatcher(site string, stats func() BatcherStats) {
 	if c.Stats != nil {
 		c.Stats.RegisterBatcher(site, stats)
+	}
+}
+
+// RegisterGate registers an admission gate's counter snapshot with the
+// attached stats registry, if any.
+func (c *Config) RegisterGate(site string, stats func() GateStats) {
+	if c.Stats != nil {
+		c.Stats.RegisterGate(site, stats)
 	}
 }
 

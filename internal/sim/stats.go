@@ -38,8 +38,32 @@ type Registry struct {
 	mmu      sync.Mutex
 	meters   []MeterEntry
 	batchers []BatcherEntry
+	gates    []GateEntry
 
 	maxEnd atomic.Int64 // latest virtual end time observed (elapsed proxy)
+}
+
+// GateStats is the counter snapshot an admission gate exposes per site.
+type GateStats struct {
+	Admitted int64 // operations the gate let through
+	Shed     int64 // operations rejected before any time was charged
+}
+
+// ShedFraction reports the share of arrivals the gate rejected.
+func (g GateStats) ShedFraction() float64 {
+	total := g.Admitted + g.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(g.Shed) / float64(total)
+}
+
+// GateEntry associates an admission gate's counter snapshot with a
+// site-style name so the registry can report admit/shed decisions
+// alongside latency sites.
+type GateEntry struct {
+	Site  string
+	Stats func() GateStats
 }
 
 // BatcherEntry associates a batcher's counter snapshot with a site-style
@@ -105,6 +129,35 @@ func (r *Registry) RegisterBatcher(site string, stats func() BatcherStats) {
 	r.mmu.Lock()
 	r.batchers = append(r.batchers, BatcherEntry{Site: site, Stats: stats})
 	r.mmu.Unlock()
+}
+
+// RegisterGate attaches an admission gate's counter snapshot under a
+// site-style name; admit/shed counts for it appear in Table. The gate
+// implementation calls this through Config.RegisterGate when a registry
+// is attached.
+func (r *Registry) RegisterGate(site string, stats func() GateStats) {
+	if r == nil || stats == nil {
+		return
+	}
+	r.mmu.Lock()
+	r.gates = append(r.gates, GateEntry{Site: site, Stats: stats})
+	r.mmu.Unlock()
+}
+
+// Gate returns the counter snapshot registered under site, or a zero
+// snapshot if none is.
+func (r *Registry) Gate(site string) GateStats {
+	if r == nil {
+		return GateStats{}
+	}
+	r.mmu.Lock()
+	defer r.mmu.Unlock()
+	for _, e := range r.gates {
+		if e.Site == site {
+			return e.Stats()
+		}
+	}
+	return GateStats{}
 }
 
 // Batcher returns the counter snapshot registered under site, or a zero
@@ -175,6 +228,7 @@ func (r *Registry) Table(title string) *metrics.Table {
 	r.mmu.Lock()
 	meters := append([]MeterEntry(nil), r.meters...)
 	batchers := append([]BatcherEntry(nil), r.batchers...)
+	gates := append([]GateEntry(nil), r.gates...)
 	r.mmu.Unlock()
 	for _, e := range meters {
 		if e.M.TotalOps() == 0 {
@@ -197,6 +251,20 @@ func (r *Registry) Table(title string) *metrics.Table {
 			fmt.Sprintf("max %d", s.MaxOccupancy),
 			fmt.Sprintf("%ds/%dt", s.SizeFlushes, s.TimeoutFlushes),
 			"-", "-", "-")
+	}
+	for _, e := range gates {
+		s := e.Stats()
+		if s.Admitted+s.Shed == 0 {
+			continue
+		}
+		// Gate rows reuse the latency columns for admission-shape info:
+		// count = arrivals, p50 column = admitted, p99 column = shed,
+		// queued% column = shed fraction.
+		t.Row(e.Site, s.Admitted+s.Shed,
+			fmt.Sprintf("adm %d", s.Admitted),
+			fmt.Sprintf("shed %d", s.Shed),
+			"-", "-", "-",
+			fmt.Sprintf("%.0f%%", 100*s.ShedFraction()))
 	}
 	return t
 }

@@ -67,6 +67,13 @@ func (ls *LogStore) Restart() {
 // crash-point-mid-WAL-append case engines must treat as an unacknowledged
 // commit.
 func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
+	// Admission gate on the store's service meter: under overload the
+	// append is shed before the fault decision and any charge. (Quorum
+	// probes arrive on fresh clocks and pass inside the gate's warmup;
+	// the group-level gate below covers that path.)
+	if err := ls.cfg.Admit(c, "logstore.append", ls.meter); err != nil {
+		return err
+	}
 	op := ls.cfg.Begin(c, "logstore.append")
 	f := ls.cfg.Inject(c, "logstore.append")
 	if f.Drop {
@@ -219,6 +226,9 @@ func NewLogStoreGroup(cfg *sim.Config, n, quorum int, medium Medium) *LogStoreGr
 // by the quorum-th fastest store's persist latency (appends fan out in
 // parallel).
 func (g *LogStoreGroup) Append(c *sim.Clock, recs []wal.Record) error {
+	if err := g.cfg.Admit(c, "logstore.quorum", g.meter); err != nil {
+		return err
+	}
 	op := g.cfg.Begin(c, "logstore.quorum")
 	var lats []time.Duration
 	for _, ls := range g.Stores {

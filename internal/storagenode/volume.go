@@ -84,6 +84,11 @@ func (v *Volume) ReadAvailable() bool { return v.Alive() >= v.ReadQ }
 // succeeds if W deliveries land whole, else the caller sees the fault (an
 // unacknowledged commit whose records may survive on some replicas).
 func (v *Volume) AppendLog(c *sim.Clock, recs []wal.Record) error {
+	// Admission gate on the volume's quorum meter: shed the append under
+	// overload before any per-replica delivery or charge.
+	if err := v.cfg.Admit(c, "volume.append", v.meter); err != nil {
+		return err
+	}
 	op := v.cfg.Begin(c, "volume.append")
 	if !v.WriteAvailable() {
 		op.End(0)
