@@ -31,6 +31,8 @@ func main() {
 		scale   = flag.String("scale", "quick", "quick | full")
 		rdmaUS  = flag.Float64("rdma-us", 0, "override one-sided RDMA base latency (µs)")
 		cxlNS   = flag.Float64("cxl-ns", 0, "override CXL base latency (ns)")
+		checkHistory = flag.Bool("check-history", false, "also run the E-isolation history-checking experiment (E26)")
+
 		trace   = flag.Bool("trace", false, "print the span tree of one representative op per experiment")
 		stats   = flag.Bool("stats", false, "print per-site telemetry tables after each experiment")
 		verbose = flag.Bool("v", false, "print claims before each experiment")
@@ -72,6 +74,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 				os.Exit(2)
 			}
+			selected = append(selected, e)
+		}
+	}
+	if *checkHistory {
+		already := false
+		for _, e := range selected {
+			if e.ID == "E26" {
+				already = true
+				break
+			}
+		}
+		if !already {
+			e, _ := harness.Lookup("E26")
 			selected = append(selected, e)
 		}
 	}

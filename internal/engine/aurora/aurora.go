@@ -235,6 +235,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		}
 		e.stats.NetMsgs.Add(int64(e.Volume.Alive()))
 	}
+	st.StampCommit(uint64(commit.LSN))
 	// The writer fans the records out to every alive replica (6-way
 	// under full health); all copies cross the network.
 	fanout := int64(e.Volume.Alive())
@@ -258,6 +259,18 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 				// uncounted error.
 				e.pool.Invalidate(e.layout.PageOf(k))
 			}
+		}
+	}
+	// Cache-invalidation notices ride the log stream to every reader
+	// replica: a reader's next access re-fetches the page at its
+	// durable-LSN floor. Without this, a reader frame cached before the
+	// commit serves the old version forever — not replica lag but a
+	// permanently stale read, which the history checker flags as a
+	// session-order cycle.
+	for _, k := range keys {
+		id := e.layout.PageOf(k)
+		for i := range e.readers {
+			e.readers[i].Invalidate(id)
 		}
 	}
 	e.stats.Commits.Add(1)

@@ -67,6 +67,46 @@ func TestReaderReplicaSeesCommittedData(t *testing.T) {
 	}
 }
 
+// Regression: reader-replica caches were populated on first access and
+// never invalidated, so a replica that had served a page once kept serving
+// that version forever — not replica lag but a permanently stale read,
+// surfaced by the history checker as a session-order cycle (write on the
+// primary, then read the old value on the replica). The writer now fans
+// cache-invalidation notices to every reader at commit.
+func TestReplicaCacheInvalidatedOnCommit(t *testing.T) {
+	layout := enginetest.Layout(t)
+	e := New(sim.DefaultConfig(), layout, 64, 1)
+	c := sim.NewClock()
+	put := func(n uint64) {
+		val := make([]byte, layout.ValSize)
+		binary.LittleEndian.PutUint64(val, n)
+		if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(3, val) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replicaRead := func() (got uint64) {
+		if err := e.ReadReplica(c, 0, func(tx engine.Tx) error {
+			v, err := tx.Read(3)
+			if err != nil {
+				return err
+			}
+			got = binary.LittleEndian.Uint64(v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	put(1)
+	if got := replicaRead(); got != 1 { // warms the replica cache
+		t.Fatalf("replica read %d before second commit", got)
+	}
+	put(2)
+	if got := replicaRead(); got != 2 {
+		t.Fatalf("replica served stale cached value %d after commit of 2", got)
+	}
+}
+
 func TestSurvivesAZFailure(t *testing.T) {
 	layout := enginetest.Layout(t)
 	e := New(sim.DefaultConfig(), layout, 64, 0)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/disagglab/disagg/internal/engine/history"
 	"github.com/disagglab/disagg/internal/sim"
 	"github.com/disagglab/disagg/internal/sim/admission"
 )
@@ -49,6 +50,15 @@ type Recoverer interface {
 type Reader interface {
 	// ReadReplica executes a read-only transaction on replica idx.
 	ReadReplica(c *sim.Clock, idx int, fn func(tx Tx) error) error
+}
+
+// Stamper is implemented by transaction handles that expose the engine's
+// commit timestamp (commit-record LSN or commit sequence number).
+// StagedTx implements it; engines stamp at their durability point. Run
+// uses it to fill history records: a stamped-but-errored attempt is
+// "durable but unacknowledged" — its effects may legally surface later.
+type Stamper interface {
+	CommitStamp() (stamp uint64, ok bool)
 }
 
 // GroupCommitter is implemented by engines whose commit path can ride a
@@ -117,6 +127,13 @@ type Stats struct {
 	Retries     atomic.Int64 // conflict re-executions Run performed
 	Backoffs    atomic.Int64 // backoff waits charged before a retry
 	BackoffWait atomic.Int64 // total virtual ns spent backing off
+	// Indeterminates counts recorded attempts whose commit fate is
+	// unknown: the transaction reached its engine's durability point
+	// (commit stamp assigned) but the commit was never acknowledged, or
+	// it failed in a way the engine cannot prove had no effect. Filled by
+	// Run when history recording is on; a sub-count of Aborts, not a new
+	// leg of the Attempts == Commits + Aborts + Shed invariant.
+	Indeterminates atomic.Int64
 }
 
 // Reset zeroes every counter.
@@ -139,6 +156,7 @@ func (s *Stats) Reset() {
 	s.Retries.Store(0)
 	s.Backoffs.Store(0)
 	s.BackoffWait.Store(0)
+	s.Indeterminates.Store(0)
 }
 
 // BytesPerCommit reports average network bytes per committed transaction —
@@ -188,6 +206,18 @@ type RunOpts struct {
 	// its watermark fail immediately with ErrShed, charging no virtual
 	// time.
 	Shed *admission.Shedder
+	// Record, when non-nil, is the history sink: Run records one
+	// history.Op per call with one attempt per execution (retry lineage
+	// explicit), capturing every read and write with virtual timestamps,
+	// the replica routing, and the per-attempt outcome and commit stamp.
+	// The recorded history feeds history.Check after the workload
+	// quiesces. Recording costs one map-free wrapper per attempt and an
+	// event append per access.
+	Record *history.Recorder
+	// Session identifies the issuing client/worker in the recorded
+	// history (program order within a session is meaningful to the
+	// checker). Ignored unless Record is set.
+	Session int
 }
 
 // defaultBackoff is the policy Run applies when Retries > 0 and
@@ -204,15 +234,24 @@ var defaultBackoff = admission.Default()
 // counts them all.
 func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	st := e.Stats()
-	if !opts.Breaker.Allow(c) {
+	var op *history.Op
+	if opts.Record != nil {
+		op = opts.Record.Begin(opts.Session, opts.Replica)
+	}
+	shed := func() {
 		st.Attempts.Add(1)
 		st.Shed.Add(1)
+		if op != nil {
+			op.NewAttempt(c.Now()).Finish(history.Shed, c.Now(), 0, ErrShed)
+		}
+	}
+	if !opts.Breaker.Allow(c) {
+		shed()
 		return ErrShed
 	}
 	if opts.Shed != nil {
 		if !opts.Shed.TryEnter() {
-			st.Attempts.Add(1)
-			st.Shed.Add(1)
+			shed()
 			return ErrShed
 		}
 		defer opts.Shed.Exit()
@@ -221,8 +260,7 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	if opts.Replica > 0 {
 		r, ok := e.(Reader)
 		if !ok {
-			st.Attempts.Add(1)
-			st.Shed.Add(1)
+			shed()
 			return ErrUnavailable
 		}
 		idx := opts.Replica - 1
@@ -237,7 +275,11 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	opts.Budget.Earn()
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = exec(c, fn)
+		if op == nil {
+			err = exec(c, fn)
+		} else {
+			err = recordAttempt(op, st, c, exec, fn)
+		}
 		// A shed that surfaces as unavailable (engine.Unavail preserving
 		// sim.ErrAdmission) is the gate doing its job, not an outage — it
 		// must not push the breaker toward open.
@@ -253,6 +295,82 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 			st.Backoffs.Add(1)
 			st.BackoffWait.Add(int64(d))
 		}
+	}
+}
+
+// recTx mirrors every successful access into the attempt record. Values
+// are reduced to register fingerprints at capture time, so recording adds
+// no retention of value buffers.
+type recTx struct {
+	inner Tx
+	att   *history.Attempt
+	c     *sim.Clock
+}
+
+func (t *recTx) Read(key uint64) ([]byte, error) {
+	v, err := t.inner.Read(key)
+	if err == nil {
+		t.att.Read(key, history.HashVal(v), t.c.Now())
+	}
+	return v, err
+}
+
+func (t *recTx) Write(key uint64, val []byte) error {
+	err := t.inner.Write(key, val)
+	if err == nil {
+		t.att.Write(key, history.HashVal(val), t.c.Now())
+	}
+	return err
+}
+
+// recordAttempt runs one execution of fn under a recording wrapper and
+// classifies its outcome.
+func recordAttempt(op *history.Op, st *Stats, c *sim.Clock,
+	exec func(*sim.Clock, func(tx Tx) error) error, fn func(tx Tx) error) error {
+	att := op.NewAttempt(c.Now())
+	var inner Tx
+	var fnErr error
+	err := exec(c, func(tx Tx) error {
+		inner = tx
+		fnErr = fn(&recTx{inner: tx, att: att, c: c})
+		return fnErr
+	})
+	var stamp uint64
+	if s, ok := inner.(Stamper); ok {
+		if v, set := s.CommitStamp(); set {
+			stamp = v
+		}
+	}
+	att.Finish(classifyOutcome(err, fnErr, stamp), c.Now(), stamp, err)
+	if att.Outcome == history.Indeterminate {
+		st.Indeterminates.Add(1)
+	}
+	return err
+}
+
+// classifyOutcome maps an attempt's error to its history outcome. The
+// rule that makes the checker sound: an engine stamps the transaction at
+// its durability point, so stamp==0 proves the attempt left no state a
+// reader (or crash recovery) could ever surface, while a stamped error is
+// "durable but unacknowledged" and its writes may legally appear later.
+func classifyOutcome(err, fnErr error, stamp uint64) history.Outcome {
+	switch {
+	case err == nil:
+		return history.Committed
+	case stamp != 0:
+		return history.Indeterminate
+	case errors.Is(err, ErrConflict), errors.Is(err, ErrReadOnly):
+		return history.Aborted
+	case fnErr != nil && errors.Is(err, fnErr):
+		// The transaction function itself failed (user abort or a
+		// propagated read error): the engine discards the staging buffer
+		// without entering its commit path.
+		return history.Aborted
+	default:
+		// Unavailability or an unrecognized engine error without a
+		// stamp: almost certainly effect-free, but "almost" is not a
+		// soundness argument — stay conservative.
+		return history.Indeterminate
 	}
 }
 

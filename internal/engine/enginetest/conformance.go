@@ -343,12 +343,27 @@ func RunConformance(t *testing.T, factory Factory) {
 		})
 	}
 
+	// Isolation: the history-checked variants. Every transaction of a
+	// seeded workload is recorded (reads, writes, retry lineage, commit
+	// stamps) and the history is checked for dependency cycles and Adya
+	// anomalies — on a clean fabric, under every fault profile, and under
+	// hot-key contention with the admission stack.
+	t.Run("Isolation/Clean", func(t *testing.T) { runIsolation(t, factory, nil, false, false) })
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Isolation/Fault/"+p.Name, func(t *testing.T) {
+			runIsolation(t, factory, &p, false, false)
+		})
+	}
+	t.Run("Isolation/Contended", func(t *testing.T) { runIsolation(t, factory, nil, true, false) })
+
 	// Batched variants: engines supporting group commit re-run the seeded
 	// suite with batching enabled, so fault replays also cover grouped
 	// flushes (one substrate fault decision shared by every rider).
 	if _, ok := factory(t, sim.DefaultConfig()).(engine.GroupCommitter); !ok {
 		return
 	}
+	t.Run("Isolation/Batched", func(t *testing.T) { runIsolation(t, factory, nil, false, true) })
 	t.Run("Batched/Semantics", func(t *testing.T) {
 		Run(t, func(t *testing.T) engine.Engine { return batched(factory(t, sim.DefaultConfig())) })
 	})

@@ -169,6 +169,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	// Durable log: network round trip + SSD append.
 	c.Advance(e.cfg.TCP.Cost(logBytes))
 	e.ssd.Write(c, logBytes)
+	// Durable from here on: a failed tier apply below surfaces an error,
+	// but the stamped commit record already survives a crash.
+	st.StampCommit(uint64(commit.LSN))
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.stats.NetBytes.Add(int64(logBytes))
 	e.stats.NetMsgs.Add(1)

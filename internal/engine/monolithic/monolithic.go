@@ -144,6 +144,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	lastLSN = e.log.Append(commit)
 	logBytes += commit.EncodedSize()
 	e.ssd.Write(c, logBytes) // group-commit fsync
+	st.StampCommit(uint64(lastLSN))
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.mu.Lock()
 	if lastLSN > e.durableLSN {

@@ -240,6 +240,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		}
 		e.stats.NetMsgs.Add(3)
 	}
+	st.StampCommit(uint64(commit.LSN))
 	// PolarFS replicates leader -> 2 followers over the fabric.
 	e.stats.LogBytes.Add(int64(payload))
 	e.stats.NetBytes.Add(int64(payload) * 3)

@@ -226,6 +226,10 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		e.stats.Aborts.Add(1)
 		return engine.Unavail(err)
 	}
+	// Durable from here on: every later failure (page latch conflict,
+	// shared-pool fault) aborts the acknowledgement, not the log record —
+	// the stamp marks the attempt as indeterminate rather than aborted.
+	st.StampCommit(uint64(commit.LSN))
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.stats.NetBytes.Add(int64(logBytes))
 	e.stats.NetMsgs.Add(1)

@@ -38,6 +38,11 @@ type Engine struct {
 	mu     sync.RWMutex
 	parts  []*partition
 	nextTx atomic.Uint64
+	// commitSeq is the engine-wide commit stamp: per-partition logs keep
+	// independent LSN spaces (and a cross-partition transaction has no
+	// single LSN at all), so stamping uses a global sequence assigned
+	// while the transaction still holds its write locks.
+	commitSeq atomic.Uint64
 	// MovedBytes accumulates rebalancing traffic (E4 metric).
 	MovedBytes atomic.Int64
 }
@@ -215,6 +220,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		}
 	}
 	c.Advance(maxCommit)
+	st.StampCommit(e.commitSeq.Add(1))
 	e.stats.Commits.Add(1)
 	return nil
 }

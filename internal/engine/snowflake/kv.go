@@ -142,6 +142,7 @@ func (e *KV) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		e.stats.Aborts.Add(1)
 		return engine.Unavail(err)
 	}
+	st.StampCommit(uint64(commit.LSN))
 	e.stats.LogBytes.Add(int64(len(encoded)))
 	e.stats.NetBytes.Add(int64(len(encoded)))
 	e.stats.NetMsgs.Add(1)

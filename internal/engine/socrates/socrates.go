@@ -233,6 +233,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		}
 		e.stats.NetMsgs.Add(1)
 	}
+	st.StampCommit(uint64(commit.LSN))
 	e.stats.LogBytes.Add(int64(logBytes))
 	e.stats.NetBytes.Add(int64(logBytes))
 

@@ -52,6 +52,51 @@ func TestStagedTxWriteSetSortedAndCopied(t *testing.T) {
 	}
 }
 
+// Regression: reads used to pass straight through to the engine read path
+// every time, so a transaction re-reading a key while another worker
+// committed in between observed two different values — a non-repeatable
+// read the history checker flags. The first external read now pins the
+// value for the transaction's lifetime.
+func TestStagedTxRepeatableReads(t *testing.T) {
+	calls := 0
+	st := NewStagedTx(func(key uint64) ([]byte, error) {
+		calls++
+		return []byte{byte(calls)}, nil // a concurrent committer per read
+	})
+	v1, _ := st.Read(9)
+	v2, _ := st.Read(9)
+	if v1[0] != 1 || v2[0] != 1 {
+		t.Fatalf("non-repeatable read: first %d then %d", v1[0], v2[0])
+	}
+	if calls != 1 {
+		t.Fatalf("engine read path hit %d times for one key", calls)
+	}
+	// The pin must not leak between keys.
+	v3, _ := st.Read(10)
+	if v3[0] != 2 {
+		t.Fatalf("second key read %d", v3[0])
+	}
+	// Reads return copies of the pin, not the pin itself.
+	v2[0] = 99
+	v4, _ := st.Read(9)
+	if v4[0] != 1 {
+		t.Fatal("pinned buffer aliased to caller")
+	}
+}
+
+func TestStagedTxCommitStamp(t *testing.T) {
+	st := NewStagedTx(nil)
+	if _, ok := st.CommitStamp(); ok {
+		t.Fatal("fresh tx claims a commit stamp")
+	}
+	st.StampCommit(41)
+	stamp, ok := st.CommitStamp()
+	if !ok || stamp != 41 {
+		t.Fatalf("stamp = %d, %v", stamp, ok)
+	}
+	var _ Stamper = st // StagedTx satisfies the Run recording contract
+}
+
 func TestStagedTxReadReturnsCopy(t *testing.T) {
 	st := NewStagedTx(nil)
 	st.Write(1, []byte{5})

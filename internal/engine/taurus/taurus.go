@@ -224,6 +224,11 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		}
 		e.stats.NetMsgs.Add(logCopies)
 	}
+	// The commit is durable once the log-store quorum has it; the page
+	// distribution below can still fail, leaving the transaction durable
+	// but unacknowledged — the stamp is what lets the history checker
+	// classify that correctly.
+	st.StampCommit(uint64(commit.LSN))
 	// Frugal page distribution: the writer sends the records to exactly
 	// one page store (Taurus's writer-load optimization), charged here.
 	if err := e.PageStores.WriteToOne(c, recs); err != nil {

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registry has %d experiments, want 25 (E1-E20 claims + E21-E25 extensions)", len(all))
+	if len(all) != 26 {
+		t.Fatalf("registry has %d experiments, want 26 (E1-E20 claims + E21-E26 extensions)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
