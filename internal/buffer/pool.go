@@ -1,15 +1,21 @@
 // Package buffer implements the buffer pools used across the engines: a
 // local in-DRAM LRU pool, an RDMA-backed remote pool hosted on a memory
 // node, and the LegoBase two-tier combination (local LRU in front of a
-// remote-memory LRU, §3.1).
+// remote-memory LRU, §3.1). All tiers can subscribe to a per-engine
+// coherence.Directory: frames then carry the commit stamp of their bytes
+// and every hit is validated against the directory version, so a copy
+// cached before a remote commit is never served after the commit's
+// durability point.
 package buffer
 
 import (
 	"container/list"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/page"
 	"github.com/disagglab/disagg/internal/rdma"
 	"github.com/disagglab/disagg/internal/sim"
@@ -22,6 +28,11 @@ type Fetcher func(c *sim.Clock, id page.ID) ([]byte, error)
 // Writeback persists a dirty page on eviction.
 type Writeback func(c *sim.Clock, id page.ID, data []byte) error
 
+// StampFunc extracts the commit stamp carried by page bytes (page-header
+// LSN for heap pages). Coherence validation compares it against the
+// directory version.
+type StampFunc func(data []byte) uint64
+
 // ErrNoFetcher is returned when a miss occurs and no fetcher is set.
 var ErrNoFetcher = errors.New("buffer: miss with no fetcher")
 
@@ -29,6 +40,9 @@ type frame struct {
 	id    page.ID
 	data  []byte
 	dirty bool
+	// stamp is the commit stamp of the cached bytes; a frame whose stamp
+	// trails the directory version is stale and never served.
+	stamp uint64
 }
 
 // Pool is a local LRU page cache. All access goes through Get/Mutate under
@@ -39,12 +53,17 @@ type Pool struct {
 	fetch     Fetcher
 	writeback Writeback
 
+	coh     *coherence.Handle
+	stampOf StampFunc
+
 	mu     sync.Mutex
 	lru    *list.List // front = most recent
 	frames map[page.ID]*list.Element
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	probeMisses atomic.Int64
+	staleHits   atomic.Int64
 }
 
 // NewPool creates a pool holding up to capacity pages.
@@ -62,6 +81,20 @@ func NewPool(cfg *sim.Config, capacity int, fetch Fetcher, writeback Writeback) 
 	}
 }
 
+// SetCoherence subscribes the pool to a coherence directory: frames are
+// stamped (via stampOf when the data carries its own stamp, else the
+// directory version at fill time) and every hit is validated. Any frames
+// already resident are noted with the directory.
+func (p *Pool) SetCoherence(h *coherence.Handle, stampOf StampFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.coh = h
+	p.stampOf = stampOf
+	for id := range p.frames {
+		h.Note(id)
+	}
+}
+
 // Capacity reports the pool capacity in pages.
 func (p *Pool) Capacity() int { return p.capacity }
 
@@ -72,7 +105,9 @@ func (p *Pool) Len() int {
 	return p.lru.Len()
 }
 
-// HitRatio reports hits/(hits+misses).
+// HitRatio reports hits/(hits+misses) over demand accesses; probe misses
+// (Peek/Contains-style lookups that never intended to load) are excluded
+// so policies fed by the ratio are not skewed by probing.
 func (p *Pool) HitRatio() float64 {
 	h, m := p.hits.Load(), p.misses.Load()
 	if h+m == 0 {
@@ -81,31 +116,72 @@ func (p *Pool) HitRatio() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// ResetStats clears the hit/miss counters.
-func (p *Pool) ResetStats() { p.hits.Store(0); p.misses.Store(0) }
+// ProbeMisses reports lookups that missed without requesting a load.
+func (p *Pool) ProbeMisses() int64 { return p.probeMisses.Load() }
+
+// StaleHits reports cached frames rejected by coherence validation.
+func (p *Pool) StaleHits() int64 { return p.staleHits.Load() }
+
+// ResetStats clears the hit/miss/probe/stale counters.
+func (p *Pool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.probeMisses.Store(0)
+	p.staleHits.Store(0)
+}
+
+// removeLocked drops a frame and tells the directory.
+func (p *Pool) removeLocked(e *list.Element) {
+	f := e.Value.(*frame)
+	p.lru.Remove(e)
+	delete(p.frames, f.id)
+	if p.coh != nil {
+		p.coh.Forget(f.id)
+	}
+}
 
 func (p *Pool) locked(c *sim.Clock, id page.ID, load bool) (*frame, error) {
 	if e, ok := p.frames[id]; ok {
-		p.lru.MoveToFront(e)
-		p.hits.Add(1)
-		return e.Value.(*frame), nil
+		f := e.Value.(*frame)
+		if p.coh == nil || p.coh.Validate(id, f.stamp) {
+			p.lru.MoveToFront(e)
+			p.hits.Add(1)
+			return f, nil
+		}
+		// The directory published a newer stamp: the cached copy is
+		// stale. Drop it and fall through to the miss path.
+		p.staleHits.Add(1)
+		p.removeLocked(e)
 	}
-	p.misses.Add(1)
 	if !load {
+		// A probe, not a demand access: counted separately so HitRatio
+		// (and any policy fed by it) reflects only loads.
+		p.probeMisses.Add(1)
 		return nil, nil
 	}
+	p.misses.Add(1)
 	if p.fetch == nil {
 		return nil, ErrNoFetcher
+	}
+	var floor uint64
+	if p.coh != nil && p.stampOf == nil {
+		floor = p.coh.Version(id)
 	}
 	data, err := p.fetch(c, id)
 	if err != nil {
 		return nil, err
 	}
-	f := &frame{id: id, data: data}
+	f := &frame{id: id, data: data, stamp: floor}
+	if p.stampOf != nil {
+		f.stamp = p.stampOf(data)
+	}
 	if err := p.evictIfFullLocked(c); err != nil {
 		return nil, err
 	}
 	p.frames[id] = p.lru.PushFront(f)
+	if p.coh != nil {
+		p.coh.Note(id)
+	}
 	return f, nil
 }
 
@@ -118,11 +194,16 @@ func (p *Pool) evictIfFullLocked(c *sim.Clock) error {
 		f := e.Value.(*frame)
 		if f.dirty && p.writeback != nil {
 			if err := p.writeback(c, f.id, f.data); err != nil {
+				// Requeue the failed victim at the MRU end: leaving it at
+				// the back makes every subsequent miss retry the same
+				// writeback, livelocking callers inside a storage fault
+				// window. Rotating lets the next eviction pick a
+				// different (possibly clean) victim.
+				p.lru.MoveToFront(e)
 				return err
 			}
 		}
-		p.lru.Remove(e)
-		delete(p.frames, f.id)
+		p.removeLocked(e)
 	}
 	return nil
 }
@@ -141,8 +222,24 @@ func (p *Pool) Get(c *sim.Clock, id page.ID) ([]byte, error) {
 	return out, nil
 }
 
+// Peek returns a copy of the page bytes if a fresh copy is cached. A miss
+// (absent, or stale under the coherence directory) has no fetch side
+// effects and is counted as a probe, not a demand miss.
+func (p *Pool) Peek(c *sim.Clock, id page.ID) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, _ := p.locked(c, id, false)
+	if f == nil {
+		return nil, false
+	}
+	c.Advance(p.cfg.DRAM.Cost(len(f.data)))
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, true
+}
+
 // Contains reports whether the page is cached (no fetch, no LRU effect on
-// miss).
+// miss, no counter effect).
 func (p *Pool) Contains(id page.ID) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -151,7 +248,9 @@ func (p *Pool) Contains(id page.ID) bool {
 }
 
 // Mutate applies fn to the cached page under the pool lock, fetching on
-// miss, and marks the page dirty.
+// miss, and marks the page dirty. When the pool is coherent and the data
+// carries its own stamp, the frame is re-stamped from the mutated bytes so
+// a commit-applying writer keeps its own frame fresh across the publish.
 func (p *Pool) Mutate(c *sim.Clock, id page.ID, fn func(data []byte) error) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -164,6 +263,11 @@ func (p *Pool) Mutate(c *sim.Clock, id page.ID, fn func(data []byte) error) erro
 		return err
 	}
 	f.dirty = true
+	if p.stampOf != nil {
+		if s := p.stampOf(f.data); s > f.stamp {
+			f.stamp = s
+		}
+	}
 	return nil
 }
 
@@ -176,14 +280,29 @@ func (p *Pool) Install(c *sim.Clock, id page.ID, data []byte, dirty bool) error 
 		f := e.Value.(*frame)
 		f.data = data
 		f.dirty = f.dirty || dirty
+		f.stamp = p.installStamp(id, data)
 		p.lru.MoveToFront(e)
 		return nil
 	}
 	if err := p.evictIfFullLocked(c); err != nil {
 		return err
 	}
-	p.frames[id] = p.lru.PushFront(&frame{id: id, data: data, dirty: dirty})
+	f := &frame{id: id, data: data, dirty: dirty, stamp: p.installStamp(id, data)}
+	p.frames[id] = p.lru.PushFront(f)
+	if p.coh != nil {
+		p.coh.Note(id)
+	}
 	return nil
+}
+
+func (p *Pool) installStamp(id page.ID, data []byte) uint64 {
+	if p.stampOf != nil {
+		return p.stampOf(data)
+	}
+	if p.coh != nil {
+		return p.coh.Version(id)
+	}
+	return 0
 }
 
 // Invalidate drops a page without writeback (coherence message from a
@@ -192,8 +311,7 @@ func (p *Pool) Invalidate(id page.ID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if e, ok := p.frames[id]; ok {
-		p.lru.Remove(e)
-		delete(p.frames, id)
+		p.removeLocked(e)
 	}
 }
 
@@ -201,26 +319,37 @@ func (p *Pool) Invalidate(id page.ID) {
 func (p *Pool) InvalidateAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.coh != nil {
+		for id := range p.frames {
+			p.coh.Forget(id)
+		}
+	}
 	p.lru.Init()
 	p.frames = make(map[page.ID]*list.Element)
 }
 
-// FlushAll writes back every dirty page.
+// FlushAll writes back every dirty page. A failed writeback keeps that
+// page dirty (so the next checkpoint retries it) and flushing continues
+// with the remaining pages; all failures are aggregated into the returned
+// error so a checkpointer can tell exactly what remains unflushed.
 func (p *Pool) FlushAll(c *sim.Clock) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var errs []error
 	for e := p.lru.Front(); e != nil; e = e.Next() {
 		f := e.Value.(*frame)
-		if f.dirty {
-			if p.writeback != nil {
-				if err := p.writeback(c, f.id, f.data); err != nil {
-					return err
-				}
-			}
-			f.dirty = false
+		if !f.dirty {
+			continue
 		}
+		if p.writeback != nil {
+			if err := p.writeback(c, f.id, f.data); err != nil {
+				errs = append(errs, fmt.Errorf("page %d: %w", f.id, err))
+				continue
+			}
+		}
+		f.dirty = false
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DirtyIDs returns the IDs of dirty pages (checkpointing support).
@@ -245,15 +374,22 @@ type RemotePool struct {
 	pageSize int
 	capacity int
 
+	coh     *coherence.Handle
+	stampOf StampFunc
+
 	mu    sync.Mutex
 	lru   *list.List // of page.ID; front = most recent
 	index map[page.ID]*remoteEntry
 	free  []uint64 // free region addresses
+
+	staleHits atomic.Int64
 }
 
 type remoteEntry struct {
 	addr uint64
-	elem *list.Element
+	// stamp is the commit stamp of the bytes last written to the frame.
+	stamp uint64
+	elem  *list.Element
 }
 
 // NewRemotePool carves capacity page frames out of the node's registered
@@ -273,6 +409,18 @@ func NewRemotePool(cfg *sim.Config, node *rdma.Node, stats *rdma.Stats, base uin
 	return rp
 }
 
+// SetCoherence subscribes the remote pool to a coherence directory;
+// entries are stamped from the page bytes on Put and validated on Get.
+func (r *RemotePool) SetCoherence(h *coherence.Handle, stampOf StampFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.coh = h
+	r.stampOf = stampOf
+	for id := range r.index {
+		h.Note(id)
+	}
+}
+
 // Capacity reports the frame count.
 func (r *RemotePool) Capacity() int { return r.capacity }
 
@@ -282,6 +430,9 @@ func (r *RemotePool) Len() int {
 	defer r.mu.Unlock()
 	return len(r.index)
 }
+
+// StaleHits reports resident entries rejected by coherence validation.
+func (r *RemotePool) StaleHits() int64 { return r.staleHits.Load() }
 
 // Contains reports residency without RDMA traffic (the compute node keeps
 // the directory locally; PolarDB Serverless keeps it on the memory node's
@@ -293,18 +444,38 @@ func (r *RemotePool) Contains(id page.ID) bool {
 	return ok
 }
 
-// Get reads the page into buf via one-sided RDMA. Returns false on miss.
+// dropLocked unmaps an entry and returns its frame to the free list.
+func (r *RemotePool) dropLocked(id page.ID, e *remoteEntry) {
+	r.lru.Remove(e.elem)
+	delete(r.index, id)
+	r.free = append(r.free, e.addr)
+	if r.coh != nil {
+		r.coh.Forget(id)
+	}
+}
+
+// Get reads the page into buf via one-sided RDMA. Returns false on miss —
+// including a coherence miss, where the resident copy's stamp trails the
+// directory version and the entry is dropped instead of served.
 func (r *RemotePool) Get(c *sim.Clock, id page.ID, buf []byte) (bool, error) {
 	r.mu.Lock()
 	e, ok := r.index[id]
+	var addr uint64
 	if ok {
-		r.lru.MoveToFront(e.elem)
+		if r.coh != nil && !r.coh.Validate(id, e.stamp) {
+			r.staleHits.Add(1)
+			r.dropLocked(id, e)
+			ok = false
+		} else {
+			r.lru.MoveToFront(e.elem)
+			addr = e.addr
+		}
 	}
 	r.mu.Unlock()
 	if !ok {
 		return false, nil
 	}
-	if err := r.qp.Read(c, e.addr, buf[:r.pageSize]); err != nil {
+	if err := r.qp.Read(c, addr, buf[:r.pageSize]); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -312,11 +483,21 @@ func (r *RemotePool) Get(c *sim.Clock, id page.ID, buf []byte) (bool, error) {
 
 // Put writes the page to remote memory, evicting the LRU page if needed.
 // Evicted pages are simply dropped: the remote pool caches pages that are
-// durable elsewhere (storage tier), like LegoBase's remote memory.
+// durable elsewhere (storage tier), like LegoBase's remote memory. The
+// entry is stamped from the page bytes, so demoting an old copy after a
+// newer commit published leaves the entry stale (caught on Get) rather
+// than masking the newer version.
 func (r *RemotePool) Put(c *sim.Clock, id page.ID, data []byte) error {
+	var stamp uint64
+	if r.stampOf != nil {
+		stamp = r.stampOf(data)
+	}
 	r.mu.Lock()
 	if e, ok := r.index[id]; ok {
 		r.lru.MoveToFront(e.elem)
+		if stamp > e.stamp {
+			e.stamp = stamp
+		}
 		addr := e.addr
 		r.mu.Unlock()
 		if err := r.qp.Write(c, addr, data[:r.pageSize]); err != nil {
@@ -339,11 +520,17 @@ func (r *RemotePool) Put(c *sim.Clock, id page.ID, data []byte) error {
 		ve := r.index[victim]
 		r.lru.Remove(back)
 		delete(r.index, victim)
+		if r.coh != nil {
+			r.coh.Forget(victim)
+		}
 		addr = ve.addr
 	}
-	e := &remoteEntry{addr: addr}
+	e := &remoteEntry{addr: addr, stamp: stamp}
 	e.elem = r.lru.PushFront(id)
 	r.index[id] = e
+	if r.coh != nil {
+		r.coh.Note(id)
+	}
 	r.mu.Unlock()
 	if err := r.qp.Write(c, addr, data[:r.pageSize]); err != nil {
 		// The frame was never written: it still holds the evicted
@@ -359,11 +546,12 @@ func (r *RemotePool) Drop(id page.ID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.index[id]; ok {
-		r.lru.Remove(e.elem)
-		delete(r.index, id)
-		r.free = append(r.free, e.addr)
+		r.dropLocked(id, e)
 	}
 }
+
+// Invalidate implements coherence.Tier.
+func (r *RemotePool) Invalidate(id page.ID) { r.Drop(id) }
 
 // IDs returns the resident page IDs (used by recovery: a rebooted compute
 // node can repopulate from remote memory instead of storage).
@@ -400,11 +588,21 @@ func NewTwoTier(cfg *sim.Config, localCap int, remote *RemotePool, fetch Fetcher
 	return t
 }
 
+// SetCoherence registers both tiers with the directory (as name.local and
+// name.remote) and wires stamp validation into each.
+func (t *TwoTier) SetCoherence(d *coherence.Directory, name string, stampOf StampFunc) {
+	t.Local.SetCoherence(d.Register(name+".local", t.Local), stampOf)
+	t.Remote.SetCoherence(d.Register(name+".remote", t.Remote), stampOf)
+}
+
 // Get returns the page bytes, trying local, then remote, then storage.
+// The local probe goes through Peek so a hit is atomic with validation
+// (the old Contains-then-Get pair raced invalidations between the two
+// lock acquisitions).
 func (t *TwoTier) Get(c *sim.Clock, id page.ID) ([]byte, error) {
-	if t.Local.Contains(id) {
+	if data, ok := t.Local.Peek(c, id); ok {
 		t.localHits.Add(1)
-		return t.Local.Get(c, id)
+		return data, nil
 	}
 	buf := make([]byte, t.Remote.pageSize)
 	ok, err := t.Remote.Get(c, id, buf)
@@ -439,8 +637,9 @@ func (t *TwoTier) Get(c *sim.Clock, id page.ID) ([]byte, error) {
 // Mutate updates the page in the local tier (write path; demotion to the
 // remote tier happens on eviction, and durability is the engine's log).
 func (t *TwoTier) Mutate(c *sim.Clock, id page.ID, fn func(data []byte) error) error {
-	if !t.Local.Contains(id) {
-		// Pull into local tier first.
+	if _, ok := t.Local.Peek(c, id); !ok {
+		// Pull a fresh copy into the local tier first (a stale local
+		// frame was just dropped by the peek's validation).
 		if _, err := t.Get(c, id); err != nil {
 			return err
 		}

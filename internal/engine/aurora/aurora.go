@@ -9,12 +9,14 @@
 package aurora
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -36,6 +38,14 @@ type Engine struct {
 
 	pool    *buffer.Pool // writer-node cache
 	readers []*buffer.Pool
+
+	// dir is the engine's page-coherence directory: commit publishes fan
+	// invalidation notices to the reader caches (riding the log stream)
+	// and version-stamp every cached frame. poolH is the writer pool's
+	// subscription (excluded from its own publishes — the writer applies
+	// in place).
+	dir   *coherence.Directory
+	poolH *coherence.Handle
 
 	// gc, when non-nil, combines concurrent commit appends into shared
 	// quorum flushes (engine.GroupCommitter).
@@ -62,6 +72,15 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, readers int) *Engine {
 	for i := 0; i < readers; i++ {
 		e.readers = append(e.readers, buffer.NewPool(cfg, poolPages, e.fetcherAt(e.DurableLSN), nil))
 	}
+	e.dir = coherence.NewDirectory(cfg, "aurora.coherence", coherence.ModeInvalidate)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	stampOf := func(d []byte) uint64 { return page.Wrap(d).LSN() }
+	e.poolH = e.dir.Register("writer", e.pool)
+	e.pool.SetCoherence(e.poolH, stampOf)
+	for i, rp := range e.readers {
+		rp.SetCoherence(e.dir.Register(fmt.Sprintf("reader%d", i), rp), stampOf)
+	}
 	return e
 }
 
@@ -75,6 +94,9 @@ func (e *Engine) Stats() *engine.Stats { return &e.stats }
 // appends ride a shared flush of up to maxItems transactions or the
 // virtual window, whichever triggers first.
 func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	// Coherence publications piggyback on the same cadence: one durable
+	// group flush = one invalidation round for the whole group.
+	e.dir.EnableBatching(maxItems, window)
 	if maxItems <= 1 {
 		e.gc = nil
 		return
@@ -83,6 +105,13 @@ func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
 		sim.BatchPolicy{MaxItems: maxItems, Window: window, OnFlush: e.noteFlush},
 		e.flushGroup)
 }
+
+// Coherence exposes the engine's page-coherence directory (experiments
+// ablate its mode and read its counters).
+func (e *Engine) Coherence() *coherence.Directory { return e.dir }
+
+// SetCoherenceMode switches invalidation fan-out vs lazy version bumps.
+func (e *Engine) SetCoherenceMode(m coherence.Mode) { e.dir.SetMode(m) }
 
 func (e *Engine) noteFlush(n int, reason sim.FlushReason) {
 	e.stats.GroupFlushes.Add(1)
@@ -149,12 +178,16 @@ func (e *Engine) fetcherAt(minLSN func() wal.LSN) buffer.Fetcher {
 
 func (e *Engine) readKey(c *sim.Clock, pool *buffer.Pool) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
-		if pool.Contains(e.layout.PageOf(key)) {
+		id := e.layout.PageOf(key)
+		// Peek serves a validated hit atomically (the old Contains+Get
+		// pair raced invalidations between the two lock acquisitions, and
+		// miscounted a stale frame as a hit).
+		if data, ok := pool.Peek(c, id); ok {
 			e.stats.CacheHits.Add(1)
-		} else {
-			e.stats.CacheMisses.Add(1)
+			return e.layout.ReadValue(data, key)
 		}
-		data, err := pool.Get(c, e.layout.PageOf(key))
+		e.stats.CacheMisses.Add(1)
+		data, err := pool.Get(c, id)
 		if err != nil {
 			return nil, err
 		}
@@ -202,16 +235,24 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			e.locks.Unlock(txID, k, txn.Exclusive)
 		}
 	}()
-	// Build and ship ONLY log records (log-as-the-database).
+	// Build and ship ONLY log records (log-as-the-database). The written
+	// pages' new coherence stamps are the per-page max update-record LSN:
+	// that is the page LSN a storage-side materialization carries, so a
+	// refetched page always validates.
 	var recs []wal.Record
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
 		recs = append(recs, rec)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -247,32 +288,31 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		e.durableLSN = lastLSN
 	}
 	e.mu.Unlock()
-	// Apply to the writer's cache (pages materialize lazily in storage).
+	// Apply to the writer's cache first (pages materialize lazily in
+	// storage): Mutate re-stamps the frame from the mutated bytes, so the
+	// writer's own copy stays fresh across the publish below. A failed
+	// apply leaves the old stamp in place and the publish automatically
+	// makes the frame stale — replacing the old explicit
+	// Invalidate-on-error call.
 	for _, k := range keys {
 		key := k
 		if e.pool.Contains(e.layout.PageOf(k)) {
-			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-			}); err != nil {
-				// The quorum append already made the commit durable; drop
-				// the stale cached page rather than surfacing an
-				// uncounted error.
-				e.pool.Invalidate(e.layout.PageOf(k))
-			}
+			})
 		}
 	}
-	// Cache-invalidation notices ride the log stream to every reader
-	// replica: a reader's next access re-fetches the page at its
-	// durable-LSN floor. Without this, a reader frame cached before the
-	// commit serves the old version forever — not replica lag but a
-	// permanently stale read, which the history checker flags as a
-	// session-order cycle.
-	for _, k := range keys {
-		id := e.layout.PageOf(k)
-		for i := range e.readers {
-			e.readers[i].Invalidate(id)
-		}
+	// Publish the commit at its durability point: the directory bumps the
+	// written pages' versions and fans invalidation notices (riding the
+	// log stream) to every reader cache holding them. Without this, a
+	// reader frame cached before the commit serves the old version
+	// forever — not replica lag but a permanently stale read, which the
+	// history checker flags as a session-order cycle.
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, s := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: s})
 	}
+	e.dir.Publish(c, stamps, e.poolH)
 	e.stats.Commits.Add(1)
 	return nil
 }

@@ -134,6 +134,12 @@ type Stats struct {
 	// Run when history recording is on; a sub-count of Aborts, not a new
 	// leg of the Attempts == Commits + Aborts + Shed invariant.
 	Indeterminates atomic.Int64
+	// Coherence counters (zero unless the engine wires a
+	// coherence.Directory): invalidation notices delivered to holder
+	// tiers at commit publishes, and cached copies rejected by
+	// commit-stamp validation.
+	Invalidations atomic.Int64
+	StaleHits     atomic.Int64
 }
 
 // Reset zeroes every counter.
@@ -157,6 +163,8 @@ func (s *Stats) Reset() {
 	s.Backoffs.Store(0)
 	s.BackoffWait.Store(0)
 	s.Indeterminates.Store(0)
+	s.Invalidations.Store(0)
+	s.StaleHits.Store(0)
 }
 
 // BytesPerCommit reports average network bytes per committed transaction —

@@ -357,6 +357,18 @@ func RunConformance(t *testing.T, factory Factory) {
 	}
 	t.Run("Isolation/Contended", func(t *testing.T) { runIsolation(t, factory, nil, true, false) })
 
+	// Coherence: the cross-tier stale-read probe — one writer bumping a
+	// hot key set, concurrent readers (primary and replica paths) holding
+	// the engine to a floor captured before each read. A value decoding
+	// below the floor is a stale cache serve, whatever tier it hid in.
+	t.Run("Coherence/Clean", func(t *testing.T) { runCoherenceProbe(t, factory, nil, false) })
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Coherence/Fault/"+p.Name, func(t *testing.T) {
+			runCoherenceProbe(t, factory, &p, false)
+		})
+	}
+
 	// Batched variants: engines supporting group commit re-run the seeded
 	// suite with batching enabled, so fault replays also cover grouped
 	// flushes (one substrate fault decision shared by every rider).
@@ -364,6 +376,7 @@ func RunConformance(t *testing.T, factory Factory) {
 		return
 	}
 	t.Run("Isolation/Batched", func(t *testing.T) { runIsolation(t, factory, nil, false, true) })
+	t.Run("Coherence/Batched", func(t *testing.T) { runCoherenceProbe(t, factory, nil, true) })
 	t.Run("Batched/Semantics", func(t *testing.T) {
 		Run(t, func(t *testing.T) engine.Engine { return batched(factory(t, sim.DefaultConfig())) })
 	})

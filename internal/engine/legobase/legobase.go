@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -34,6 +35,12 @@ type Engine struct {
 	log     *wal.Log
 	locks   *txn.LockTable
 	stats   engine.Stats
+
+	// dir version-stamps both cache tiers (ModeBump: lazy validation). A
+	// remote copy that missed an update goes stale at the commit publish
+	// and is dropped on its next validated read, falling through to the
+	// log-replaying storage fetch.
+	dir *coherence.Directory
 
 	// CheckpointRemoteEvery / CheckpointStorageEvery control the two
 	// ARIES tiers (commit counts; 0 disables).
@@ -73,6 +80,10 @@ func New(cfg *sim.Config, layout heap.Layout, localPages, remotePages int) *Engi
 	}
 	remote := buffer.NewRemotePool(cfg, mn.Node(), nil, base, remotePages, layout.PageSize)
 	e.Tiers = buffer.NewTwoTier(cfg, localPages, remote, e.fetchFromStorage)
+	e.dir = coherence.NewDirectory(cfg, "legobase.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.Tiers.SetCoherence(e.dir, "legobase", func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -156,11 +167,16 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	}()
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -196,6 +212,14 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			return err
 		}
 	}
+	// Publish the commit stamps: the local tier's frames were re-stamped
+	// by Mutate and stay fresh; any remote-tier copy that predates this
+	// commit goes stale and is dropped on its next validated read.
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, nil)
 	if doRemote {
 		e.CheckpointRemote(c)
 	}

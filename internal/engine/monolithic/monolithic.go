@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -30,6 +31,12 @@ type Engine struct {
 	log    *wal.Log
 	locks  *txn.LockTable
 	stats  engine.Stats
+
+	// dir version-stamps the pool's frames at commit publishes; a frame
+	// whose apply failed keeps its old stamp and goes stale, forcing the
+	// next reader through fetchPage's log replay.
+	dir   *coherence.Directory
+	poolH *coherence.Handle
 
 	mu sync.Mutex
 	// disk is the durable page store (post-checkpoint images).
@@ -53,6 +60,11 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
 		disk:   make(map[page.ID][]byte),
 	}
 	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, e.writebackPage)
+	e.dir = coherence.NewDirectory(cfg, "monolithic.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.poolH = e.dir.Register("pool", e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -73,6 +85,21 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 	e.ssd.Read(c, e.layout.PageSize)
 	out := make([]byte, len(data))
 	copy(out, data)
+	// Redo the log tail for this page: the disk image only reflects the
+	// last writeback/checkpoint, but the fsynced WAL may hold newer
+	// committed updates (e.g. after a failed in-pool apply staled the
+	// frame). Replaying here makes a fetch authoritative.
+	pg := page.Wrap(out)
+	e.mu.Lock()
+	ckpt := e.checkpointLSN
+	e.mu.Unlock()
+	for _, r := range e.log.Since(ckpt) {
+		if r.Type == wal.TypeUpdate && page.ID(r.PageID) == id && uint64(r.LSN) > pg.LSN() {
+			if err := e.layout.WriteValue(out, r.Key, r.After, uint64(r.LSN)); err != nil {
+				break
+			}
+		}
+	}
 	return out, nil
 }
 
@@ -89,7 +116,13 @@ func (e *Engine) writebackPage(c *sim.Clock, id page.ID, data []byte) error {
 
 func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
-		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		id := e.layout.PageOf(key)
+		if data, ok := e.pool.Peek(c, id); ok {
+			e.stats.CacheHits.Add(1)
+			return e.layout.ReadValue(data, key)
+		}
+		e.stats.CacheMisses.Add(1)
+		data, err := e.pool.Get(c, id)
 		if err != nil {
 			return nil, err
 		}
@@ -135,10 +168,15 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	// Log, fsync, apply.
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		lastLSN = e.log.Append(rec)
 		logBytes += rec.EncodedSize()
+		if uint64(lastLSN) > pageStamp[id] {
+			pageStamp[id] = uint64(lastLSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	lastLSN = e.log.Append(commit)
@@ -151,16 +189,22 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		e.durableLSN = lastLSN
 	}
 	e.mu.Unlock()
+	// Apply, then publish the commit stamps: an applied frame is
+	// re-stamped from its mutated bytes and stays fresh; a failed apply
+	// (the fsynced WAL already holds the commit) leaves the old stamp and
+	// the publish stales the frame, so the next reader refetches through
+	// the log replay in fetchPage.
 	for _, k := range keys {
 		key := k
-		if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+		_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-		}); err != nil {
-			// The fsynced WAL already holds the commit; drop the stale
-			// page and let the next reader replay it from the log.
-			e.pool.Invalidate(e.layout.PageOf(k))
-		}
+		})
 	}
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, e.poolH)
 	e.stats.Commits.Add(1)
 	return nil
 }

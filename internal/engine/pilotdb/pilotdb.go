@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -55,6 +56,12 @@ type Engine struct {
 	stats engine.Stats
 	pool  *buffer.Pool
 
+	// dir replaces the engine's old hand-rolled pageLSN map: commit
+	// publishes bump per-page versions (ModeBump — optimistic readers
+	// validate lazily), and the pool validates cached frames against it.
+	dir   *coherence.Directory
+	poolH *coherence.Handle
+
 	// Validations / Repairs count optimistic-read outcomes.
 	Validations atomic.Int64
 	Repairs     atomic.Int64
@@ -63,7 +70,6 @@ type Engine struct {
 	// to surface stale optimistic reads (0 = always lag by one commit).
 	mu         sync.Mutex
 	pending    []wal.Record // records not yet given to the page store
-	pageLSN    map[page.ID]wal.LSN
 	durableLSN wal.LSN
 	nextTx     atomic.Uint64
 	crashed    atomic.Bool
@@ -79,9 +85,13 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int, opt Options) *Engin
 		PageStore: storagenode.NewReplica(cfg, "ps-0", 0, layout, 1),
 		log:       wal.NewLog(),
 		locks:     txn.NewLockTable(),
-		pageLSN:   make(map[page.ID]wal.LSN),
 	}
 	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	e.dir = coherence.NewDirectory(cfg, "pilotdb.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.poolH = e.dir.Register("pool", e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -96,11 +106,10 @@ func (e *Engine) Name() string {
 // Stats implements engine.Engine.
 func (e *Engine) Stats() *engine.Stats { return &e.stats }
 
-// expectedLSN is the LSN a fresh copy of the page must carry.
+// expectedLSN is the LSN a fresh copy of the page must carry: the highest
+// published update-record LSN for the page (the directory version).
 func (e *Engine) expectedLSN(id page.ID) wal.LSN {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pageLSN[id]
+	return wal.LSN(e.dir.Version(id))
 }
 
 // fetchPage is the optimistic (or coordinated) page read.
@@ -169,18 +178,12 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
 		id := e.layout.PageOf(key)
-		if e.pool.Contains(id) {
+		// The pool validates cached frames against the directory itself
+		// (replacing the old manual LSN check + Invalidate): Peek only
+		// serves a frame whose stamp is current.
+		if data, ok := e.pool.Peek(c, id); ok {
 			e.stats.CacheHits.Add(1)
-			data, err := e.pool.Get(c, id)
-			if err != nil {
-				return nil, err
-			}
-			// Cached pages can also be stale relative to the writer's
-			// own commits; validate by LSN and repair via the pool.
-			if wal.LSN(page.Wrap(data).LSN()) >= e.expectedLSN(id) {
-				return e.layout.ReadValue(data, key)
-			}
-			e.pool.Invalidate(id)
+			return e.layout.ReadValue(data, key)
 		}
 		e.stats.CacheMisses.Add(1)
 		data, err := e.pool.Get(c, id)
@@ -228,12 +231,17 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	var recs []wal.Record
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
 		recs = append(recs, rec)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -267,12 +275,6 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	if lastLSN > e.durableLSN {
 		e.durableLSN = lastLSN
 	}
-	for _, k := range keys {
-		id := e.layout.PageOf(k)
-		if lastLSN > e.pageLSN[id] {
-			e.pageLSN[id] = lastLSN
-		}
-	}
 	// Page-store ingestion is asynchronous: the previous pending batch
 	// goes out now (background), the new one waits — so optimistic
 	// readers genuinely race materialization.
@@ -282,18 +284,24 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	if len(prev) > 0 {
 		e.PageStore.Ingest(sim.NewClock(), prev)
 	}
+	// Apply to cached pages, then publish the commit stamps. An applied
+	// frame is re-stamped from its mutated bytes and stays fresh; a failed
+	// apply (the PM log already holds the commit) leaves the old stamp and
+	// the publish stales the frame, so the next read repairs via fetchPage
+	// — replacing the old explicit Invalidate-on-error call.
 	for _, k := range keys {
 		key := k
 		if e.pool.Contains(e.layout.PageOf(k)) {
-			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-			}); err != nil {
-				// The PM log already holds the commit; drop the stale
-				// cached page rather than surfacing an uncounted error.
-				e.pool.Invalidate(e.layout.PageOf(k))
-			}
+			})
 		}
 	}
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, e.poolH)
 	e.stats.Commits.Add(1)
 	return nil
 }

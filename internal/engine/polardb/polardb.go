@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -32,6 +33,13 @@ type Engine struct {
 	locks *txn.LockTable
 	stats engine.Stats
 	pool  *buffer.Pool
+
+	// dir version-stamps the pool's frames at commit publishes; with one
+	// pool there is no fan-out (the pool is excluded from its own
+	// publishes), but a frame whose apply failed goes stale automatically
+	// and is refetched with log replay.
+	dir   *coherence.Directory
+	poolH *coherence.Handle
 
 	// gc, when non-nil, combines concurrent commit-path raft appends into
 	// shared group flushes (engine.GroupCommitter): one replication round
@@ -62,6 +70,11 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
 		CheckpointEvery: 64,
 	}
 	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, e.shipPage)
+	e.dir = coherence.NewDirectory(cfg, "polardb.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.poolH = e.dir.Register("pool", e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -75,6 +88,7 @@ func (e *Engine) Stats() *engine.Stats { return &e.stats }
 // appends share one replication round of up to maxItems transactions or
 // the virtual window.
 func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	e.dir.EnableBatching(maxItems, window)
 	if maxItems <= 1 {
 		e.gc = nil
 		return
@@ -165,12 +179,15 @@ func (e *Engine) shipPage(c *sim.Clock, id page.ID, data []byte) error {
 
 func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
-		if e.pool.Contains(e.layout.PageOf(key)) {
+		id := e.layout.PageOf(key)
+		// Peek serves a validated hit atomically (the old Contains+Get
+		// pair miscounted a stale frame as a hit).
+		if data, ok := e.pool.Peek(c, id); ok {
 			e.stats.CacheHits.Add(1)
-		} else {
-			e.stats.CacheMisses.Add(1)
+			return e.layout.ReadValue(data, key)
 		}
-		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		e.stats.CacheMisses.Add(1)
+		data, err := e.pool.Get(c, id)
 		if err != nil {
 			return nil, err
 		}
@@ -216,11 +233,16 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	var lastLSN wal.LSN
 	payload := 0
 	var encoded []byte
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		encoded = rec.Encode(encoded)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -251,18 +273,23 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	e.commitCount++
 	doCkpt := e.CheckpointEvery > 0 && e.commitCount%e.CheckpointEvery == 0
 	e.mu.Unlock()
+	// Apply to the cache, then publish the commit stamps. Mutate re-stamps
+	// each frame from the mutated bytes, so an applied frame stays fresh
+	// across the publish; a failed apply (e.g. an injected fault on the
+	// page fetch) leaves the old stamp and the publish makes the frame
+	// stale, so the next reader refetches with log replay — replacing the
+	// old explicit Invalidate-on-error call.
 	for _, k := range keys {
 		key := k
-		if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+		_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 			return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-		}); err != nil {
-			// The raft append already made the commit durable; a failed
-			// local apply (e.g. an injected fault on the page fetch) only
-			// stales the cached page, so drop it and let the next reader
-			// refetch with log replay.
-			e.pool.Invalidate(e.layout.PageOf(k))
-		}
+		})
 	}
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, e.poolH)
 	if doCkpt {
 		// Page shipping: flush dirty pages to PolarFS. A failed flush
 		// does not fail the (already durable) commit — the pages stay

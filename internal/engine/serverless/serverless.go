@@ -9,12 +9,14 @@
 package serverless
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/memnode"
@@ -45,8 +47,14 @@ type Engine struct {
 	nodes   []*computeNode
 	primary atomic.Int32
 
+	// dir is the memory-node page directory (ModeBump: local caches are
+	// kept coherent by page-LSN validation, not invalidation broadcasts).
+	// It replaces the old hand-rolled pageLSN map; the shared pool and
+	// every node cache validate their entries against it.
+	dir     *coherence.Directory
+	stampOf buffer.StampFunc
+
 	mu         sync.Mutex
-	pageLSN    map[page.ID]wal.LSN // memory-node page directory
 	durableLSN wal.LSN
 	nextTx     atomic.Uint64
 }
@@ -69,18 +77,23 @@ func New(cfg *sim.Config, layout heap.Layout, nodes, localPages, sharedPages int
 		layout:  layout,
 		Volume:  storagenode.NewAuroraVolume(cfg, layout),
 		MemNode: mn,
-		log:     wal.NewLog(),
-		locks:   txn.NewLockTable(),
-		pageLSN: make(map[page.ID]wal.LSN),
+		log:   wal.NewLog(),
+		locks: txn.NewLockTable(),
 	}
+	e.dir = coherence.NewDirectory(cfg, "serverless.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.stampOf = func(d []byte) uint64 { return page.Wrap(d).LSN() }
 	base, err := mn.Alloc(uint64(sharedPages * layout.PageSize))
 	if err != nil {
 		panic("serverless: shared pool sizing bug: " + err.Error())
 	}
 	e.Shared = buffer.NewRemotePool(cfg, mn.Node(), nil, base, sharedPages, layout.PageSize)
+	e.Shared.SetCoherence(e.dir.Register("shared", e.Shared), e.stampOf)
 	for i := 0; i < nodes; i++ {
 		n := &computeNode{qp: mn.Connect(nil)}
 		n.cache = buffer.NewPool(cfg, localPages, nil, nil)
+		n.cache.SetCoherence(e.dir.Register(fmt.Sprintf("node%d", i), n.cache), e.stampOf)
 		e.nodes = append(e.nodes, n)
 	}
 	return e
@@ -98,22 +111,19 @@ func (e *Engine) directoryLSN(c *sim.Clock, n *computeNode, id page.ID) wal.LSN 
 	// One 8-byte one-sided read against the memory node.
 	var buf [8]byte
 	n.qp.Read(c, 0, buf[:])
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pageLSN[id]
+	return wal.LSN(e.dir.Version(id))
 }
 
 // getPage returns a current page image for the node: local cache if fresh,
 // else shared pool, else storage volume.
 func (e *Engine) getPage(c *sim.Clock, n *computeNode, id page.ID) ([]byte, error) {
 	want := e.directoryLSN(c, n, id)
-	if n.cache.Contains(id) {
-		data, err := n.cache.Get(c, id)
-		if err == nil && wal.LSN(page.Wrap(data).LSN()) >= want {
-			e.stats.CacheHits.Add(1)
-			return data, nil
-		}
-		n.cache.Invalidate(id)
+	// Peek only serves a frame whose stamp is current in the directory —
+	// it replaces the old manual page-LSN check + Invalidate (which
+	// miscounted a stale frame as a hit before dropping it).
+	if data, ok := n.cache.Peek(c, id); ok {
+		e.stats.CacheHits.Add(1)
+		return data, nil
 	}
 	e.stats.CacheMisses.Add(1)
 	buf := make([]byte, e.layout.PageSize)
@@ -210,12 +220,17 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	var recs []wal.Record
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
 		recs = append(recs, rec)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -290,11 +305,13 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		e.stats.NetBytes.Add(int64(len(data)))
 		e.stats.NetMsgs.Add(1)
 		n.cache.Install(c, id, data, false)
-		e.mu.Lock()
-		if lastLSN > e.pageLSN[id] {
-			e.pageLSN[id] = lastLSN
-		}
-		e.mu.Unlock()
+		// Publish per page, as soon as the shared pool holds the update:
+		// an abort later in the loop must not bump versions for pages the
+		// shared pool never saw (readers keep a consistent pre-update
+		// view, exactly as the old per-page pageLSN bump behaved). The
+		// writer's own copies carry the commit LSN and stay fresh; every
+		// other node's cached copy goes stale and revalidates.
+		e.dir.Publish(c, []coherence.PageStamp{{ID: id, Stamp: pageStamp[id]}}, nil)
 	}
 	e.mu.Lock()
 	if lastLSN > e.durableLSN {
@@ -387,5 +404,6 @@ func (e *Engine) AddNode(c *sim.Clock, localPages int) int {
 	e.nodes = append(e.nodes, n)
 	idx := len(e.nodes) - 1
 	e.mu.Unlock()
+	n.cache.SetCoherence(e.dir.Register(fmt.Sprintf("node%d", idx), n.cache), e.stampOf)
 	return idx
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -41,6 +42,12 @@ type Engine struct {
 	locks *txn.LockTable
 	stats engine.Stats
 	pool  *buffer.Pool
+
+	// dir version-stamps the pool's frames at commit publishes; a frame
+	// whose local apply failed keeps its old stamp and goes stale, so the
+	// next reader refetches instead of seeing the pre-commit image.
+	dir   *coherence.Directory
+	poolH *coherence.Handle
 
 	// gc, when non-nil, combines concurrent XLOG appends into shared
 	// group flushes (engine.GroupCommitter).
@@ -72,6 +79,11 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageServers int) *Engi
 		e.PageServers = append(e.PageServers, storagenode.NewReplica(cfg, fmt.Sprintf("ps-%d", i), i%3, layout, 1+0.1*float64(i)))
 	}
 	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	e.dir = coherence.NewDirectory(cfg, "socrates.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.poolH = e.dir.Register("pool", e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -84,6 +96,7 @@ func (e *Engine) Stats() *engine.Stats { return &e.stats }
 // EnableGroupCommit implements engine.GroupCommitter: commits share XLOG
 // flushes of up to maxItems transactions or the virtual window.
 func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	e.dir.EnableBatching(maxItems, window)
 	if maxItems <= 1 {
 		e.gc = nil
 		return
@@ -156,12 +169,15 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 
 func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
-		if e.pool.Contains(e.layout.PageOf(key)) {
+		id := e.layout.PageOf(key)
+		// Peek serves a validated hit atomically (the old Contains+Get
+		// pair miscounted a stale frame as a hit).
+		if data, ok := e.pool.Peek(c, id); ok {
 			e.stats.CacheHits.Add(1)
-		} else {
-			e.stats.CacheMisses.Add(1)
+			return e.layout.ReadValue(data, key)
 		}
-		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		e.stats.CacheMisses.Add(1)
+		data, err := e.pool.Get(c, id)
 		if err != nil {
 			return nil, err
 		}
@@ -206,12 +222,17 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	var recs []wal.Record
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
 		recs = append(recs, rec)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -252,18 +273,24 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	e.commitCount++
 	doSnap := e.SnapshotEvery > 0 && e.commitCount%e.SnapshotEvery == 0
 	e.mu.Unlock()
+	// Apply to cached pages, then publish the commit stamps. Mutate
+	// re-stamps an applied frame from the mutated bytes so it stays fresh;
+	// a failed apply (XLOG already made the commit durable) leaves the old
+	// stamp and the publish stales the frame, so the next reader refetches
+	// — replacing the old explicit Invalidate-on-error call.
 	for _, k := range keys {
 		key := k
 		if e.pool.Contains(e.layout.PageOf(k)) {
-			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-			}); err != nil {
-				// XLOG already made the commit durable; drop the stale
-				// cached page rather than surfacing an uncounted error.
-				e.pool.Invalidate(e.layout.PageOf(k))
-			}
+			})
 		}
 	}
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, e.poolH)
 	if doSnap {
 		e.snapshotToXStore(c, keys)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
+	"github.com/disagglab/disagg/internal/buffer/coherence"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -36,6 +37,12 @@ type Engine struct {
 	locks *txn.LockTable
 	stats engine.Stats
 	pool  *buffer.Pool
+
+	// dir version-stamps the pool's frames at commit publishes; a frame
+	// whose local apply failed keeps its old stamp and goes stale, so the
+	// next reader refetches instead of seeing the pre-commit image.
+	dir   *coherence.Directory
+	poolH *coherence.Handle
 
 	// gc, when non-nil, combines concurrent quorum log appends into
 	// shared group flushes (engine.GroupCommitter). The frugal per-commit
@@ -65,6 +72,11 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageStores int) *Engin
 		GossipEvery: 32,
 	}
 	e.pool = buffer.NewPool(cfg, poolPages, e.fetchPage, nil)
+	e.dir = coherence.NewDirectory(cfg, "taurus.coherence", coherence.ModeBump)
+	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
+	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
+	e.poolH = e.dir.Register("pool", e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
 
@@ -78,6 +90,7 @@ func (e *Engine) Stats() *engine.Stats { return &e.stats }
 // quorum log-store flushes of up to maxItems transactions or the virtual
 // window.
 func (e *Engine) EnableGroupCommit(maxItems int, window time.Duration) {
+	e.dir.EnableBatching(maxItems, window)
 	if maxItems <= 1 {
 		e.gc = nil
 		return
@@ -146,12 +159,15 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 
 func (e *Engine) readKey(c *sim.Clock) func(key uint64) ([]byte, error) {
 	return func(key uint64) ([]byte, error) {
-		if e.pool.Contains(e.layout.PageOf(key)) {
+		id := e.layout.PageOf(key)
+		// Peek serves a validated hit atomically (the old Contains+Get
+		// pair miscounted a stale frame as a hit).
+		if data, ok := e.pool.Peek(c, id); ok {
 			e.stats.CacheHits.Add(1)
-		} else {
-			e.stats.CacheMisses.Add(1)
+			return e.layout.ReadValue(data, key)
 		}
-		data, err := e.pool.Get(c, e.layout.PageOf(key))
+		e.stats.CacheMisses.Add(1)
+		data, err := e.pool.Get(c, id)
 		if err != nil {
 			return nil, err
 		}
@@ -196,12 +212,17 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	var recs []wal.Record
 	logBytes := 0
 	var lastLSN wal.LSN
+	pageStamp := make(map[page.ID]uint64)
 	for _, k := range keys {
-		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(e.layout.PageOf(k)), Key: k, After: writes[k]}
+		id := e.layout.PageOf(k)
+		rec := wal.Record{Type: wal.TypeUpdate, TxID: txID, PageID: uint64(id), Key: k, After: writes[k]}
 		rec.LSN = e.log.Append(rec)
 		lastLSN = rec.LSN
 		logBytes += rec.EncodedSize()
 		recs = append(recs, rec)
+		if uint64(rec.LSN) > pageStamp[id] {
+			pageStamp[id] = uint64(rec.LSN)
+		}
 	}
 	commit := wal.Record{Type: wal.TypeCommit, TxID: txID}
 	commit.LSN = e.log.Append(commit)
@@ -248,19 +269,24 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	e.commitCount++
 	doGossip := e.GossipEvery > 0 && e.commitCount%e.GossipEvery == 0
 	e.mu.Unlock()
+	// Apply to cached pages, then publish the commit stamps. Mutate
+	// re-stamps an applied frame from the mutated bytes so it stays fresh;
+	// a failed apply (the commit is already quorum-durable) leaves the old
+	// stamp and the publish stales the frame, so the next reader refetches
+	// — replacing the old explicit Invalidate-on-error call.
 	for _, k := range keys {
 		key := k
 		if e.pool.Contains(e.layout.PageOf(k)) {
-			if err := e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
+			_ = e.pool.Mutate(c, e.layout.PageOf(k), func(data []byte) error {
 				return e.layout.WriteValue(data, key, writes[key], uint64(lastLSN))
-			}); err != nil {
-				// The commit is already quorum-durable; a failed local
-				// apply only stales the cached page. Drop it so the next
-				// reader refetches instead of surfacing an uncounted error.
-				e.pool.Invalidate(e.layout.PageOf(k))
-			}
+			})
 		}
 	}
+	stamps := make([]coherence.PageStamp, 0, len(pageStamp))
+	for id, st := range pageStamp {
+		stamps = append(stamps, coherence.PageStamp{ID: id, Stamp: st})
+	}
+	e.dir.Publish(c, stamps, e.poolH)
 	if doGossip {
 		// Background anti-entropy (not charged to the writer).
 		e.PageStores.GossipRound(sim.NewClock())

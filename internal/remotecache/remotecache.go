@@ -166,11 +166,15 @@ func (c *Cache) Set(clk *sim.Clock, qp *rdma.QP, key uint64, val []byte) error {
 }
 
 // Get fetches a value using the configured mode, adapting the mode from
-// the NIC congestion signal (Redy's SLO-driven configuration).
+// the NIC congestion signal (Redy's SLO-driven configuration). A Get that
+// races a Reclaim is redirected to the node the cache migrated to instead
+// of surfacing the reclaimed node's failure as a miss.
 func (c *Cache) Get(clk *sim.Clock, qp *rdma.QP, key uint64) ([]byte, error) {
 	c.mu.Lock()
 	addr, ok := c.index[key]
 	mode := c.mode
+	epoch := c.active
+	pool := c.nodes[c.active]
 	c.getHist++
 	adapt := c.getHist%256 == 0
 	c.mu.Unlock()
@@ -180,6 +184,23 @@ func (c *Cache) Get(clk *sim.Clock, qp *rdma.QP, key uint64) ([]byte, error) {
 	if adapt {
 		c.adaptMode(qp)
 	}
+	if qp.Node() != pool.Node() {
+		// The caller's QP predates a migration: addr came from the
+		// post-migration index, so reading it through the old node would
+		// return the wrong bytes (or ErrNodeFailed once the reclaim
+		// completes). Chase the placement to the current node up front.
+		clk.Advance(c.cfg.RDMARPC.Cost(16))
+		qp = pool.Connect(nil)
+	}
+	out, err := c.getAt(clk, qp, addr, mode)
+	if err != nil {
+		return c.redirect(clk, key, epoch, err)
+	}
+	return out, nil
+}
+
+// getAt performs one read of addr through qp in the given mode.
+func (c *Cache) getAt(clk *sim.Clock, qp *rdma.QP, addr uint64, mode AccessMode) ([]byte, error) {
 	if mode == ModeOneSided {
 		out := make([]byte, c.ValueSize)
 		if err := qp.Read(clk, addr, out); err != nil {
@@ -197,6 +218,38 @@ func (c *Cache) Get(clk *sim.Clock, qp *rdma.QP, key uint64) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	return out, nil
+}
+
+// redirect retries a failed Get against the node the cache migrated to.
+// Regression: a Get racing Reclaim used to return the reclaimed node's
+// error (surfacing as a spurious miss/failure) even though the value had
+// been migrated intact. The loop is bounded: it only retries while the
+// migration epoch advanced since the failed attempt, which happens at most
+// len(nodes)-1 times.
+func (c *Cache) redirect(clk *sim.Clock, key uint64, epoch int, orig error) ([]byte, error) {
+	for {
+		c.mu.Lock()
+		if c.active == epoch {
+			c.mu.Unlock()
+			return nil, orig
+		}
+		epoch = c.active
+		addr, ok := c.index[key]
+		mode := c.mode
+		pool := c.nodes[c.active]
+		c.mu.Unlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		// Chasing the migration costs one control round trip to learn the
+		// new placement, then the retried read on the new node.
+		clk.Advance(c.cfg.RDMARPC.Cost(16))
+		out, err := c.getAt(clk, pool.Connect(nil), addr, mode)
+		if err == nil {
+			return out, nil
+		}
+		orig = err
+	}
 }
 
 // adaptMode flips between one-sided and RPC based on NIC queueing.

@@ -3,6 +3,7 @@ package remotecache
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 	"time"
 
@@ -136,6 +137,148 @@ func TestPointerChaseOffloadOneRoundTrip(t *testing.T) {
 	}
 	if direct.Now() < time.Duration(hops)*cfg.RDMA.Base {
 		t.Fatalf("direct chase cheaper than %d round trips", hops)
+	}
+}
+
+// Regression: a Get racing Reclaim used to read the post-migration address
+// through the reclaimed node's QP and surface ErrNodeFailed (or wrong
+// bytes in the pre-Fail window) even though the value had been migrated
+// intact. The client must be redirected to the node the cache moved to.
+func TestGetRedirectsAcrossReclaim(t *testing.T) {
+	c := newCache(t, 2)
+	oldQP := c.Connect(nil)
+	clk := sim.NewClock()
+	want := make([]byte, 64)
+	copy(want, "survives reclamation")
+	if err := c.Set(clk, oldQP, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reclaim(clk); err != nil {
+		t.Fatal(err)
+	}
+	// The client still holds the pre-migration QP (it has not observed
+	// the reclamation). Its Get must chase the migration, not fail.
+	rclk := sim.NewClock()
+	got, err := c.Get(rclk, oldQP, 7)
+	if err != nil {
+		t.Fatalf("get through reclaimed node's QP: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("redirected get returned %q", got[:20])
+	}
+	// The redirect is not free: it pays a placement-chase round trip on
+	// top of what a direct get through a fresh QP costs.
+	dclk := sim.NewClock()
+	if _, err := c.Get(dclk, c.Connect(nil), 7); err != nil {
+		t.Fatal(err)
+	}
+	if !(rclk.Now() > dclk.Now()) {
+		t.Fatalf("redirected get (%v) did not pay the chase round trip over a direct get (%v)",
+			rclk.Now(), dclk.Now())
+	}
+}
+
+// The same window in RPC mode: the two-sided path must redirect too.
+func TestGetRedirectsAcrossReclaimRPCMode(t *testing.T) {
+	c := newCache(t, 2)
+	oldQP := c.Connect(nil)
+	clk := sim.NewClock()
+	want := make([]byte, 64)
+	copy(want, "rpc mode value")
+	if err := c.Set(clk, oldQP, 9, want); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.mode = ModeRPC
+	c.mu.Unlock()
+	if _, err := c.Reclaim(clk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(clk, oldQP, 9)
+	if err != nil {
+		t.Fatalf("RPC get through reclaimed node's QP: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("redirected RPC get returned %q", got[:14])
+	}
+}
+
+// Drive the redirect path itself: a Get whose read already failed against
+// the old epoch must retry on the new node once the epoch advanced, and
+// must return the original error when no migration happened.
+func TestRedirectChasesMigrationEpoch(t *testing.T) {
+	c := newCache(t, 2)
+	qp := c.Connect(nil)
+	clk := sim.NewClock()
+	want := make([]byte, 64)
+	copy(want, "epoch chase")
+	if err := c.Set(clk, qp, 3, want); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("read raced the reclaim")
+	// No migration: the original error stands.
+	if _, err := c.redirect(clk, 3, 0, sentinel); err != sentinel {
+		t.Fatalf("redirect without migration: %v", err)
+	}
+	// Migration advanced the epoch after our (simulated) failed read at
+	// epoch 0: the retry lands on the new node.
+	if _, err := c.Reclaim(clk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.redirect(clk, 3, 0, sentinel)
+	if err != nil {
+		t.Fatalf("redirect after migration: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("redirect returned %q", got[:11])
+	}
+}
+
+// Concurrent readers crossing a live Reclaim: every Get must return the
+// correct bytes — the migration may cost a chase, never an error or stale
+// data. Run with -race.
+func TestConcurrentGetsSurviveReclaim(t *testing.T) {
+	c := newCache(t, 2)
+	setup := sim.NewClock()
+	setQP := c.Connect(nil)
+	const keys = 16
+	vals := make(map[uint64][]byte, keys)
+	for k := uint64(0); k < keys; k++ {
+		v := make([]byte, 64)
+		binary.LittleEndian.PutUint64(v, k*31+1)
+		vals[k] = v
+		if err := c.Set(setup, setQP, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := sim.RunGroup(8, func(id int, wc *sim.Clock) int {
+		if id == 0 {
+			if _, err := c.Reclaim(wc); err != nil {
+				t.Errorf("reclaim: %v", err)
+			}
+			return 1
+		}
+		qp := c.Connect(nil) // may bind to the soon-reclaimed node
+		ops := 0
+		for i := 0; i < 200; i++ {
+			k := uint64(i % keys)
+			got, err := c.Get(wc, qp, k)
+			if err != nil {
+				t.Errorf("get key %d during reclaim: %v", k, err)
+				continue
+			}
+			if !bytes.Equal(got, vals[k]) {
+				t.Errorf("get key %d returned wrong bytes during reclaim", k)
+			}
+			ops++
+		}
+		return ops
+	})
+	if res.TotalOps < 7*200 {
+		t.Fatalf("ops = %d", res.TotalOps)
+	}
+	if c.Migrations != 1 {
+		t.Fatalf("migrations = %d", c.Migrations)
 	}
 }
 

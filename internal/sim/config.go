@@ -96,6 +96,15 @@ func (c *Config) RegisterGate(site string, stats func() GateStats) {
 	}
 }
 
+// RegisterCoherence registers a coherence directory's counter snapshot
+// with the attached stats registry, if any. coherence.NewDirectory calls
+// this for you.
+func (c *Config) RegisterCoherence(site string, stats func() CoherenceStats) {
+	if c.Stats != nil {
+		c.Stats.RegisterCoherence(site, stats)
+	}
+}
+
 // DefaultConfig returns the calibration described in DESIGN.md:
 //
 //	DRAM 100ns/25GBps · CXL 350ns/16GBps · PM read 300ns / write 500ns@2GBps

@@ -35,10 +35,11 @@ type Registry struct {
 	mu    sync.RWMutex
 	sites map[string]*SiteStats
 
-	mmu      sync.Mutex
-	meters   []MeterEntry
-	batchers []BatcherEntry
-	gates    []GateEntry
+	mmu        sync.Mutex
+	meters     []MeterEntry
+	batchers   []BatcherEntry
+	gates      []GateEntry
+	coherences []CoherenceEntry
 
 	maxEnd atomic.Int64 // latest virtual end time observed (elapsed proxy)
 }
@@ -71,6 +72,25 @@ type GateEntry struct {
 type BatcherEntry struct {
 	Site  string
 	Stats func() BatcherStats
+}
+
+// CoherenceStats is the counter snapshot a page-coherence directory
+// exposes per site (the type lives here so the coherence layer can
+// register with the registry without an import cycle).
+type CoherenceStats struct {
+	Publishes     int64 // commit-point publications (one per committed write set)
+	Rounds        int64 // fan-out rounds (grouped publications; == Publishes unless batched)
+	Invalidations int64 // invalidation messages delivered to holder tiers
+	Bumps         int64 // directory version bumps
+	StaleHits     int64 // cached copies rejected by commit-stamp validation
+}
+
+// CoherenceEntry associates a coherence directory's counter snapshot with
+// a site-style name so the registry can report invalidation traffic
+// alongside latency sites.
+type CoherenceEntry struct {
+	Site  string
+	Stats func() CoherenceStats
 }
 
 // NewRegistry returns an empty registry.
@@ -142,6 +162,35 @@ func (r *Registry) RegisterGate(site string, stats func() GateStats) {
 	r.mmu.Lock()
 	r.gates = append(r.gates, GateEntry{Site: site, Stats: stats})
 	r.mmu.Unlock()
+}
+
+// RegisterCoherence attaches a coherence directory's counter snapshot
+// under a site-style name; publish/invalidation/stale-hit counts for it
+// appear in Table. The directory calls this through
+// Config.RegisterCoherence when a registry is attached.
+func (r *Registry) RegisterCoherence(site string, stats func() CoherenceStats) {
+	if r == nil || stats == nil {
+		return
+	}
+	r.mmu.Lock()
+	r.coherences = append(r.coherences, CoherenceEntry{Site: site, Stats: stats})
+	r.mmu.Unlock()
+}
+
+// Coherence returns the counter snapshot registered under site, or a zero
+// snapshot if none is.
+func (r *Registry) Coherence(site string) CoherenceStats {
+	if r == nil {
+		return CoherenceStats{}
+	}
+	r.mmu.Lock()
+	defer r.mmu.Unlock()
+	for _, e := range r.coherences {
+		if e.Site == site {
+			return e.Stats()
+		}
+	}
+	return CoherenceStats{}
 }
 
 // Gate returns the counter snapshot registered under site, or a zero
@@ -229,6 +278,7 @@ func (r *Registry) Table(title string) *metrics.Table {
 	meters := append([]MeterEntry(nil), r.meters...)
 	batchers := append([]BatcherEntry(nil), r.batchers...)
 	gates := append([]GateEntry(nil), r.gates...)
+	coherences := append([]CoherenceEntry(nil), r.coherences...)
 	r.mmu.Unlock()
 	for _, e := range meters {
 		if e.M.TotalOps() == 0 {
@@ -251,6 +301,22 @@ func (r *Registry) Table(title string) *metrics.Table {
 			fmt.Sprintf("max %d", s.MaxOccupancy),
 			fmt.Sprintf("%ds/%dt", s.SizeFlushes, s.TimeoutFlushes),
 			"-", "-", "-")
+	}
+	for _, e := range coherences {
+		s := e.Stats()
+		if s.Publishes == 0 && s.StaleHits == 0 {
+			continue
+		}
+		// Coherence rows reuse the latency columns for protocol-shape
+		// info: count = publishes, p50 column = fan-out rounds, p99
+		// column = invalidations sent, max column = version bumps, bytes
+		// column = stale hits caught by validation.
+		t.Row(e.Site, s.Publishes,
+			fmt.Sprintf("rnd %d", s.Rounds),
+			fmt.Sprintf("inv %d", s.Invalidations),
+			fmt.Sprintf("bump %d", s.Bumps),
+			fmt.Sprintf("stale %d", s.StaleHits),
+			"-", "-")
 	}
 	for _, e := range gates {
 		s := e.Stats()
