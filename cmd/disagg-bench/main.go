@@ -9,6 +9,7 @@
 //	disagg-bench -list
 //	disagg-bench -run all -scale quick
 //	disagg-bench -run E1,E6,E18 -scale full
+//	disagg-bench -run E-elastic          # elastic fleet vs fixed node (E28)
 //	disagg-bench -run E1 -trace          # span tree of one representative op
 //	disagg-bench -run E1,E6,E18 -stats   # per-site latency/byte/meter tables
 package main

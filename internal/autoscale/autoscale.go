@@ -15,15 +15,38 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
 )
 
-// Sample is one telemetry observation.
-type Sample struct {
-	// At is the virtual timestamp of the observation.
+// Telemetry is one virtual-time observation of the fleet. The controller
+// builds it from live sim.Meter counters (see MeterSource); offline traces
+// build it directly from a demand series. Demand is the load signal every
+// policy provisions for; Util and Queued, when measured, refine the
+// congestion picture beyond what Demand alone implies.
+type Telemetry struct {
+	// At is the virtual timestamp of the observation (a sim.Clock reading).
 	At time.Duration
-	// Demand is the offered load (e.g. txn/s or queries/s).
+	// Demand is the offered load in per-node capacity units: 1.0 is one
+	// fully-busy node at the nominal perNode rate (for live telemetry,
+	// virtual busy-time per virtual second; for traces, txn/s or any other
+	// rate the perNode capacity is denominated in).
 	Demand float64
+	// Util is the MEASURED fleet utilization ρ over the observation window
+	// (busy / (nodes × elapsed)), or 0 when unknown (offline traces).
+	// Policies prefer it to the Demand-derived estimate when present.
+	Util float64
+	// Queued is the fraction of operations in the window that observed
+	// queueing — the congestion signal sim.Meter exposes.
+	Queued float64
 }
+
+// Sample is one telemetry observation.
+//
+// Deprecated: Sample is an alias of Telemetry kept so existing literals
+// (Sample{At: ..., Demand: ...}) compile unchanged; new code should say
+// Telemetry.
+type Sample = Telemetry
 
 // Decision is the controller's output.
 type Decision struct {
@@ -35,9 +58,9 @@ type Decision struct {
 
 // Policy maps telemetry to provisioning decisions.
 type Policy interface {
-	// Decide consumes the newest sample and returns the node count to
+	// Decide consumes the newest observation and returns the node count to
 	// provision, given each node serves perNode demand units.
-	Decide(s Sample, perNode float64) Decision
+	Decide(s Telemetry, perNode float64) Decision
 }
 
 // Errors.
@@ -53,12 +76,17 @@ type Reactive struct {
 // NewReactive returns a reactive policy starting at one node.
 func NewReactive() *Reactive { return &Reactive{High: 0.8, Low: 0.3, nodes: 1} }
 
-// Decide implements Policy.
-func (r *Reactive) Decide(s Sample, perNode float64) Decision {
+// Decide implements Policy. When the observation carries a measured
+// utilization (live sim.Meter telemetry), that drives the threshold test;
+// otherwise utilization is derived from Demand as in the offline traces.
+func (r *Reactive) Decide(s Telemetry, perNode float64) Decision {
 	if r.nodes < 1 {
 		r.nodes = 1
 	}
 	util := s.Demand / (float64(r.nodes) * perNode)
+	if s.Util > 0 {
+		util = s.Util
+	}
 	switch {
 	case util > r.High:
 		r.nodes = int(s.Demand/(perNode*r.High)) + 1
@@ -92,7 +120,7 @@ func NewPredictive(horizon time.Duration) *Predictive {
 }
 
 // Decide implements Policy.
-func (p *Predictive) Decide(s Sample, perNode float64) Decision {
+func (p *Predictive) Decide(s Telemetry, perNode float64) Decision {
 	p.samples = append(p.samples, s)
 	if len(p.samples) > p.Window {
 		p.samples = p.samples[len(p.samples)-p.Window:]
@@ -139,11 +167,65 @@ func (p *Predictive) forecast(at time.Duration) float64 {
 	return f
 }
 
+// MeterSource converts live sim.Meter counters into windowed Telemetry:
+// each Sample call reads the meters' cumulative busy/ops/queued totals,
+// differences them against the previous call, and reports the window's
+// demand rate (virtual busy-time per virtual second, i.e. node-equivalents
+// of load), measured utilization over the live node count, and queued
+// fraction. The meter set must be delta-monotonic across calls — keep
+// retired members' meters in the set (their counters simply stop moving)
+// rather than dropping them, or the differencing goes negative.
+//
+// MeterSource is the bridge the ISSUE-8 redesign adds: policies consume
+// the same Telemetry whether it came from an offline trace or from the
+// running fleet's meters stamped with sim.Clock time.
+type MeterSource struct {
+	lastAt     time.Duration
+	lastBusy   time.Duration
+	lastOps    int64
+	lastQueued int64
+}
+
+// Sample observes the meters at virtual time now with nodes live compute
+// members and returns the telemetry for the window since the previous
+// call. The first call establishes the baseline window from t=0.
+func (ms *MeterSource) Sample(now time.Duration, nodes int, meters ...*sim.Meter) Telemetry {
+	var busy time.Duration
+	var ops, queued int64
+	for _, m := range meters {
+		busy += m.Busy()
+		ops += m.TotalOps()
+		queued += m.QueuedOps()
+	}
+	dt := now - ms.lastAt
+	dBusy := busy - ms.lastBusy
+	dOps := ops - ms.lastOps
+	dQueued := queued - ms.lastQueued
+	ms.lastAt, ms.lastBusy, ms.lastOps, ms.lastQueued = now, busy, ops, queued
+	t := Telemetry{At: now}
+	if dt <= 0 || dBusy < 0 || dOps < 0 {
+		return t
+	}
+	t.Demand = dBusy.Seconds() / dt.Seconds()
+	if nodes > 0 {
+		t.Util = t.Demand / float64(nodes)
+	}
+	if dOps > 0 {
+		t.Queued = float64(dQueued) / float64(dOps)
+	}
+	return t
+}
+
 // Trace evaluates a policy against a demand trace and reports (a) the
 // fraction of samples where provisioned capacity was insufficient (SLO
 // violations) and (b) the average overprovisioned node-fraction (cost).
 // Each sample is one control interval; decisions take effect the NEXT
 // interval (provisioning lag).
+//
+// Trace is a thin shim over the Telemetry surface: it feeds observations
+// with no measured Util/Queued, so policies fall back to the demand-derived
+// utilization and the E21 outputs are unchanged by the live-telemetry
+// redesign.
 func Trace(p Policy, perNode float64, demands []float64, interval time.Duration) (violations float64, avgOver float64, err error) {
 	if perNode <= 0 {
 		return 0, 0, ErrBadCapacity
@@ -159,7 +241,7 @@ func Trace(p Policy, perNode float64, demands []float64, interval time.Duration)
 		} else if d > 0 {
 			over += (cap - d) / perNode
 		}
-		dec := p.Decide(Sample{At: time.Duration(i) * interval, Demand: d}, perNode)
+		dec := p.Decide(Telemetry{At: time.Duration(i) * interval, Demand: d}, perNode)
 		nodes = dec.Nodes
 	}
 	n := float64(len(demands))

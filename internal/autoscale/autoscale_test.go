@@ -3,6 +3,8 @@ package autoscale
 import (
 	"testing"
 	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
 )
 
 func TestReactiveScalesOutUnderLoad(t *testing.T) {
@@ -97,6 +99,79 @@ func TestTraceErrors(t *testing.T) {
 	}
 	if v, o, err := Trace(NewReactive(), 10, nil, time.Second); err != nil || v != 0 || o != 0 {
 		t.Fatal("empty trace should be zero-safe")
+	}
+}
+
+func TestReactivePrefersMeasuredUtil(t *testing.T) {
+	// Demand alone reads as idle, but the measured ρ says the fleet is
+	// saturated (e.g. contention stretch, not raw arrival rate): the
+	// policy must believe the meter.
+	p := NewReactive()
+	d := p.Decide(Telemetry{Demand: 10, Util: 0.95}, 100)
+	if d.Nodes < 1 || d.Reason == "steady" {
+		t.Fatalf("measured util 0.95 did not trigger scale-out: %+v", d)
+	}
+}
+
+func TestMeterSourceWindows(t *testing.T) {
+	m := sim.NewMeter(1)
+	c := sim.NewClock()
+	var ms MeterSource
+
+	// Window 1: 600µs of demand over a 1ms window on 1 node.
+	m.Observe(advanceTo(c, time.Millisecond), 600*time.Microsecond)
+	tel := ms.Sample(c.Now(), 1, m)
+	if tel.At != time.Millisecond {
+		t.Fatalf("At = %v", tel.At)
+	}
+	if tel.Demand < 0.59 || tel.Demand > 0.61 {
+		t.Fatalf("demand = %v, want ~0.6 node-equivalents", tel.Demand)
+	}
+	if tel.Util < 0.59 || tel.Util > 0.61 {
+		t.Fatalf("util = %v, want ~0.6 on one node", tel.Util)
+	}
+
+	// Window 2: idle — deltas, not cumulative totals.
+	tel = ms.Sample(advanceTo(c, 2*time.Millisecond).Now(), 1, m)
+	if tel.Demand != 0 || tel.Util != 0 {
+		t.Fatalf("idle window reported demand %v util %v", tel.Demand, tel.Util)
+	}
+
+	// Window 3: two nodes, 2ms aggregate busy over 1ms => demand 2.0,
+	// util 1.0 across the pair.
+	m2 := sim.NewMeter(1)
+	m.Observe(advanceTo(c, 3*time.Millisecond), time.Millisecond)
+	m2.Observe(c, time.Millisecond)
+	tel = ms.Sample(c.Now(), 2, m, m2)
+	if tel.Demand < 1.9 || tel.Demand > 2.1 {
+		t.Fatalf("demand = %v, want ~2 node-equivalents", tel.Demand)
+	}
+	if tel.Util < 0.95 || tel.Util > 1.05 {
+		t.Fatalf("util = %v, want ~1.0 across two nodes", tel.Util)
+	}
+}
+
+// advanceTo moves the clock to an absolute virtual time (test helper).
+func advanceTo(c *sim.Clock, at time.Duration) *sim.Clock {
+	c.Advance(at - c.Now())
+	return c
+}
+
+func TestObserveDoesNotAdvanceClock(t *testing.T) {
+	m := sim.NewMeter(1)
+	c := sim.NewClock()
+	c.Advance(time.Millisecond)
+	m.Observe(c, 500*time.Microsecond)
+	if c.Now() != time.Millisecond {
+		t.Fatalf("Observe advanced the clock to %v", c.Now())
+	}
+	if m.Busy() != 500*time.Microsecond || m.TotalOps() != 1 {
+		t.Fatalf("busy %v ops %d", m.Busy(), m.TotalOps())
+	}
+	// Oversubscribed observations register as queued for telemetry.
+	m.Observe(c, 10*time.Millisecond)
+	if m.QueuedOps() == 0 {
+		t.Fatal("oversubscribed Observe did not mark queueing")
 	}
 }
 

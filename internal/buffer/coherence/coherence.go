@@ -184,6 +184,24 @@ func (d *Directory) Register(name string, t Tier) *Handle {
 	return &Handle{d: d, e: e}
 }
 
+// Deregister removes a tier's subscription (a retired compute node's
+// cache leaving the fleet): it stops receiving invalidation fan-out and
+// its holdings no longer draw notices. A nil or already-removed handle is
+// a no-op.
+func (d *Directory) Deregister(h *Handle) {
+	if h == nil {
+		return
+	}
+	d.mu.Lock()
+	for i, e := range d.tiers {
+		if e == h.e {
+			d.tiers = append(d.tiers[:i], d.tiers[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
 // EnableBatching routes publications through a leader-combining batcher
 // with the given size/window policy so concurrent committers share one
 // coherence round — engines call this alongside EnableGroupCommit so one

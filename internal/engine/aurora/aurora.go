@@ -84,6 +84,40 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, readers int) *Engine {
 	return e
 }
 
+// Peer creates an additional compute node attached to root's shared
+// substrate: it shares the quorum volume, the authoritative log (one LSN
+// space), and the page-coherence directory, but owns a fresh cache, lock
+// table, and stats — the disaggregation elasticity story, where a
+// scaled-out node is stateless and attaches in seconds. The peer's pool
+// registers as a coherence tier with the ROOT's directory, so commits on
+// any member invalidate every member's cached copies. Correctness
+// contract: peers have independent lock tables, so a router must keep
+// concurrent writers to the same key on one member (the cluster shard map
+// does). peerID stripes transaction IDs so members never collide in the
+// shared log.
+func Peer(root *Engine, peerID, poolPages int) *Engine {
+	e := &Engine{
+		cfg:    root.cfg,
+		layout: root.layout,
+		Volume: root.Volume,
+		log:    root.log,
+		locks:  txn.NewLockTable(),
+		dir:    root.dir,
+	}
+	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetcherAt(func() wal.LSN { return e.DurableLSN() }), nil)
+	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.nextTx.Store(uint64(peerID) << 40)
+	// A fresh node knows nothing durable yet; Recover (the fleet's warm-up
+	// step) learns the volume's high LSN. Until then reads float at LSN 0,
+	// which is safe (floors only rise) but cold.
+	return e
+}
+
+// Detach unregisters the peer's cache tier from the shared coherence
+// directory so retired members stop absorbing invalidation fan-out.
+func (e *Engine) Detach() { e.dir.Deregister(e.poolH) }
+
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "aurora" }
 

@@ -71,6 +71,42 @@ type GroupCommitter interface {
 	EnableGroupCommit(maxItems int, window time.Duration)
 }
 
+// Capability reports which optional interfaces an engine implements, with
+// the already-asserted views filled in. It consolidates the scattered
+// `e.(engine.Recoverer)`-style type assertions the conformance suite,
+// chaos drills, harness, and fleet router previously each did on their
+// own: call Caps once, then branch on the fields.
+type Capability struct {
+	// Recoverer is non-nil when the engine supports crash-recovery drills.
+	Recoverer Recoverer
+	// Reader is non-nil when the engine has read replicas.
+	Reader Reader
+	// GroupCommitter is non-nil when the commit path can ride a shared
+	// group flush.
+	GroupCommitter GroupCommitter
+}
+
+// Caps discovers e's optional capabilities.
+func Caps(e Engine) Capability {
+	var c Capability
+	c.Recoverer, _ = e.(Recoverer)
+	c.Reader, _ = e.(Reader)
+	c.GroupCommitter, _ = e.(GroupCommitter)
+	return c
+}
+
+// CommitStampOf reports tx's commit stamp when the transaction handle is a
+// Stamper that was stamped at the engine's durability point. The
+// capability lives on Tx handles, not engines, so it is discovered
+// per-transaction rather than through Caps.
+func CommitStampOf(tx Tx) (stamp uint64, ok bool) {
+	s, isStamper := tx.(Stamper)
+	if !isStamper {
+		return 0, false
+	}
+	return s.CommitStamp()
+}
+
 // Common engine errors.
 var (
 	ErrConflict    = errors.New("engine: transaction conflict")
@@ -233,8 +269,9 @@ type RunOpts struct {
 var defaultBackoff = admission.Default()
 
 // Run executes fn as one transaction on e per opts. It is the single
-// entry point workloads, experiments, and the conformance suite use; the
-// legacy Execute/RunClosed pair remains only as a shim.
+// entry point workloads, experiments, and the conformance suite use
+// (cluster.Fleet wraps it per routed member in fleet mode); Execute is the
+// engine-side primitive, not a client API.
 //
 // Run maintains the engine accounting invariant: every call adds, per
 // attempt, exactly one of Commits/Aborts (inside the engine) or Shed
@@ -266,8 +303,8 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	}
 	exec := e.Execute
 	if opts.Replica > 0 {
-		r, ok := e.(Reader)
-		if !ok {
+		r := Caps(e).Reader
+		if r == nil {
 			shed()
 			return ErrUnavailable
 		}
@@ -344,10 +381,8 @@ func recordAttempt(op *history.Op, st *Stats, c *sim.Clock,
 		return fnErr
 	})
 	var stamp uint64
-	if s, ok := inner.(Stamper); ok {
-		if v, set := s.CommitStamp(); set {
-			stamp = v
-		}
+	if v, set := CommitStampOf(inner); set {
+		stamp = v
 	}
 	att.Finish(classifyOutcome(err, fnErr, stamp), c.Now(), stamp, err)
 	if att.Outcome == history.Indeterminate {
@@ -380,13 +415,4 @@ func classifyOutcome(err, fnErr error, stamp uint64) history.Outcome {
 		// soundness argument — stay conservative.
 		return history.Indeterminate
 	}
-}
-
-// RunClosed executes fn with automatic retry on conflicts, up to retries
-// attempts; other errors pass through.
-//
-// Deprecated: use Run(e, c, RunOpts{Retries: retries}, fn). Kept for one
-// PR so out-of-tree callers can migrate.
-func RunClosed(e Engine, c *sim.Clock, retries int, fn func(tx Tx) error) error {
-	return Run(e, c, RunOpts{Retries: retries}, fn)
 }

@@ -298,13 +298,29 @@ func TestRunReplicaOnNonReaderCountsShed(t *testing.T) {
 	}
 }
 
-func TestRunClosedShimDelegates(t *testing.T) {
+// TestRunRetriesThroughConflicts pins the behavior the retired
+// closed-loop shim delegated to: Retries re-executions absorb transient
+// conflicts.
+func TestRunRetriesThroughConflicts(t *testing.T) {
 	e := &flakyEngine{failures: 2}
-	if err := RunClosed(e, sim.NewClock(), 3, func(tx Tx) error { return nil }); err != nil {
+	if err := Run(e, sim.NewClock(), RunOpts{Retries: 3}, func(tx Tx) error { return nil }); err != nil {
 		t.Fatalf("err = %v", err)
 	}
 	if e.calls != 3 {
 		t.Fatalf("calls = %d, want 3", e.calls)
+	}
+}
+
+// TestCapsDiscovery checks the consolidated capability probe against a
+// plain engine and one with replicas.
+func TestCapsDiscovery(t *testing.T) {
+	plain := Caps(&flakyEngine{})
+	if plain.Recoverer != nil || plain.Reader != nil || plain.GroupCommitter != nil {
+		t.Fatalf("flakyEngine caps = %+v, want none", plain)
+	}
+	reader := Caps(&flakyReader{})
+	if reader.Reader == nil {
+		t.Fatal("flakyReader must expose the Reader capability")
 	}
 }
 

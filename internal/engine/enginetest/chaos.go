@@ -15,8 +15,8 @@ import (
 func RunChaos(t *testing.T, factory func(t *testing.T) engine.Engine) {
 	layout := Layout(t)
 	e := factory(t)
-	r, ok := e.(engine.Recoverer)
-	if !ok {
+	r := engine.Caps(e).Recoverer
+	if r == nil {
 		t.Skip("engine does not implement Recoverer")
 	}
 	c := sim.NewClock()

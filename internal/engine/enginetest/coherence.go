@@ -56,7 +56,7 @@ func runCoherenceProbe(t *testing.T, factory Factory, p *fault.Profile, batch bo
 		e = batched(e)
 		label += "+batched"
 	}
-	_, hasReplica := e.(engine.Reader)
+	hasReplica := engine.Caps(e).Reader != nil
 
 	keys := make([]*cohKeyState, cohKeys)
 	for i := range keys {

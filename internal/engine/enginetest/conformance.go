@@ -269,8 +269,8 @@ func reportViolations(t *testing.T, seed int64, profile string, violations []str
 // the durable LSN must not move backwards.
 func crashRecoverVerify(t *testing.T, e engine.Engine, res *conformanceResult, seed int64, profile string) {
 	t.Helper()
-	r, ok := e.(engine.Recoverer)
-	if !ok {
+	r := engine.Caps(e).Recoverer
+	if r == nil {
 		return
 	}
 	var before wal.LSN
@@ -372,7 +372,7 @@ func RunConformance(t *testing.T, factory Factory) {
 	// Batched variants: engines supporting group commit re-run the seeded
 	// suite with batching enabled, so fault replays also cover grouped
 	// flushes (one substrate fault decision shared by every rider).
-	if _, ok := factory(t, sim.DefaultConfig()).(engine.GroupCommitter); !ok {
+	if engine.Caps(factory(t, sim.DefaultConfig())).GroupCommitter == nil {
 		return
 	}
 	t.Run("Isolation/Batched", func(t *testing.T) { runIsolation(t, factory, nil, false, true) })
@@ -411,7 +411,7 @@ const (
 // batched enables group commit on an engine built by a conformance
 // factory. Callers have already checked the engine is a GroupCommitter.
 func batched(e engine.Engine) engine.Engine {
-	e.(engine.GroupCommitter).EnableGroupCommit(batchGroupSize, batchWindow)
+	engine.Caps(e).GroupCommitter.EnableGroupCommit(batchGroupSize, batchWindow)
 	return e
 }
 
@@ -477,7 +477,7 @@ func timeoutFlushDurable(t *testing.T, factory Factory) {
 	if c.Now() < batchWindow {
 		t.Errorf("commit latency %v does not include the %v batching window", c.Now(), batchWindow)
 	}
-	if r, ok := e.(engine.Recoverer); ok {
+	if r := engine.Caps(e).Recoverer; r != nil {
 		r.Crash()
 		if _, err := r.Recover(sim.NewClock()); err != nil {
 			t.Fatalf("recovery: %v", err)
@@ -537,7 +537,7 @@ func flushFailureNotAcked(t *testing.T, factory Factory, seed int64, p fault.Pro
 		t.Fatalf("healed engine cannot commit: %v", err)
 	}
 	// ...and those commits must be genuinely durable.
-	if r, ok := e.(engine.Recoverer); ok {
+	if r := engine.Caps(e).Recoverer; r != nil {
 		r.Crash()
 		if _, err := r.Recover(sim.NewClock()); err != nil {
 			t.Fatalf("recovery after healing: %v", err)

@@ -206,8 +206,8 @@ func Run(t *testing.T, factory func(t *testing.T) engine.Engine) {
 
 	t.Run("CrashRecovery", func(t *testing.T) {
 		e := factory(t)
-		r, ok := e.(engine.Recoverer)
-		if !ok {
+		r := engine.Caps(e).Recoverer
+		if r == nil {
 			t.Skip("engine does not implement Recoverer")
 		}
 		c := sim.NewClock()

@@ -54,7 +54,7 @@ func isoSeed(base int64, i int) int64 { return base + int64(i)*7919 }
 // itself written, the probe that turns a permanently stale replica cache
 // into a session-order cycle.
 func isolationWorkload(e engine.Engine, layout heap.Layout, seed int64, rec *history.Recorder, contended bool, adm engine.RunOpts) {
-	_, isReader := e.(engine.Reader)
+	isReader := engine.Caps(e).Reader != nil
 	ops := isoOps
 	if contended {
 		ops = isoHotOps

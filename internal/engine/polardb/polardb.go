@@ -8,6 +8,7 @@
 package polardb
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,37 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
 	return e
 }
+
+// Peer creates an additional compute node attached to root's shared
+// substrate: the PolarFS raft group, the authoritative log (one LSN
+// space), and the page-coherence directory are shared; the cache, lock
+// table, page-image map, and stats are the peer's own. A peer that has
+// not shipped a page reads it by formatting a fresh image and replaying
+// the shared log up to its durable watermark — which is why the fleet
+// warms a fresh peer with Recover before routing to it. Peers rely on the
+// cluster router keeping concurrent writers to one key on one member
+// (independent lock tables); peerID stripes transaction IDs.
+func Peer(root *Engine, peerID, poolPages int) *Engine {
+	e := &Engine{
+		cfg:             root.cfg,
+		layout:          root.layout,
+		FS:              root.FS,
+		log:             root.log,
+		locks:           txn.NewLockTable(),
+		pagesFS:         make(map[page.ID][]byte),
+		dir:             root.dir,
+		CheckpointEvery: root.CheckpointEvery,
+	}
+	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetchPage, e.shipPage)
+	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.nextTx.Store(uint64(peerID) << 40)
+	return e
+}
+
+// Detach unregisters the peer's cache from the shared coherence directory
+// (a retired member stops absorbing invalidation fan-out).
+func (e *Engine) Detach() { e.dir.Deregister(e.poolH) }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "polardb" }
@@ -307,12 +339,25 @@ func (e *Engine) Crash() {
 }
 
 // Recover implements engine.Recoverer: elect a PolarFS leader if needed,
-// then resume — pages and log are durable in PolarFS, and pages are read
-// on demand with log replay folded into fetchPage.
+// learn the log high-water mark, then resume — pages and log are durable
+// in PolarFS, and pages are read on demand with log replay folded into
+// fetchPage. Advancing the watermark matters for fleet peers: without it
+// a takeover node would replay only its OWN commits onto fetched pages
+// and never surface records the crashed member made durable. Records past
+// the watermark that were never acknowledged may surface too, which is
+// legal — an unacked write may appear after recovery, a lost acked one
+// may not.
 func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	start := c.Now()
 	if _, err := e.FS.Elect(c); err != nil {
 		return 0, err
+	}
+	if head := e.log.Head(); head > 1 {
+		e.mu.Lock()
+		if head-1 > e.durableLSN {
+			e.durableLSN = head - 1
+		}
+		e.mu.Unlock()
 	}
 	e.crashed.Store(false)
 	return c.Now() - start, nil

@@ -3,6 +3,7 @@ package polardb
 import (
 	"testing"
 
+	"github.com/disagglab/disagg/internal/cluster"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/engine/enginetest"
 	"github.com/disagglab/disagg/internal/sim"
@@ -11,6 +12,23 @@ import (
 func TestConformance(t *testing.T) {
 	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
 		return New(cfg, enginetest.Layout(t), 64)
+	})
+}
+
+func TestElastic(t *testing.T) {
+	enginetest.RunElastic(t, func(t *testing.T, cfg *sim.Config) cluster.Spec {
+		layout := enginetest.Layout(t)
+		var root *Engine
+		return cluster.Spec{
+			Name: "polardb",
+			New: func(id int) engine.Engine {
+				if id == 0 {
+					root = New(cfg, layout, 64)
+					return root
+				}
+				return Peer(root, id, 64)
+			},
+		}
 	})
 }
 

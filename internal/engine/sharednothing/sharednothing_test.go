@@ -3,6 +3,7 @@ package sharednothing
 import (
 	"testing"
 
+	"github.com/disagglab/disagg/internal/cluster"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/engine/enginetest"
 	"github.com/disagglab/disagg/internal/sim"
@@ -11,6 +12,25 @@ import (
 func TestConformance(t *testing.T) {
 	enginetest.RunConformance(t, func(t *testing.T, cfg *sim.Config) engine.Engine {
 		return New(cfg, enginetest.Layout(t), 4)
+	})
+}
+
+func TestElastic(t *testing.T) {
+	enginetest.RunElastic(t, func(t *testing.T, cfg *sim.Config) cluster.Spec {
+		layout := enginetest.Layout(t)
+		var e *Engine
+		return cluster.Spec{
+			Name: "shared-nothing",
+			New: func(id int) engine.Engine {
+				e = New(cfg, layout, 1)
+				return e
+			},
+			// Partitioned architecture: elasticity physically re-partitions
+			// the single engine — the movement tax E4 measures.
+			Rescale: func(c *sim.Clock, n int) int64 {
+				return e.Rebalance(c, n)
+			},
+		}
 	})
 }
 

@@ -87,6 +87,36 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageServers int) *Engi
 	return e
 }
 
+// Peer creates an additional compute node attached to root's shared
+// substrate: XLOG, page servers, XStore, the authoritative log (one LSN
+// space), and the page-coherence directory are shared; the cache, lock
+// table, and stats are the peer's own. Peers rely on the cluster router
+// keeping concurrent writers to one key on one member (independent lock
+// tables); peerID stripes transaction IDs. A fresh peer is cold until
+// Recover learns the XLOG high-water mark.
+func Peer(root *Engine, peerID, poolPages int) *Engine {
+	e := &Engine{
+		cfg:           root.cfg,
+		layout:        root.layout,
+		XLOG:          root.XLOG,
+		PageServers:   root.PageServers,
+		XStore:        root.XStore,
+		log:           root.log,
+		locks:         txn.NewLockTable(),
+		dir:           root.dir,
+		SnapshotEvery: root.SnapshotEvery,
+	}
+	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetchPage, nil)
+	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
+	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.nextTx.Store(uint64(peerID) << 40)
+	return e
+}
+
+// Detach unregisters the peer's cache from the shared coherence directory
+// (a retired member stops absorbing invalidation fan-out).
+func (e *Engine) Detach() { e.dir.Deregister(e.poolH) }
+
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "socrates" }
 

@@ -71,7 +71,7 @@ func e24Cell(cfg *sim.Config, build func(*sim.Config) engine.Engine, workers, tx
 	layout := oltpLayout()
 	e := build(cfg)
 	if batch > 1 {
-		e.(engine.GroupCommitter).EnableGroupCommit(batch, e24Window)
+		engine.Caps(e).GroupCommitter.EnableGroupCommit(batch, e24Window)
 	}
 	lat := make(chan time.Duration, workers*txns)
 	res := sim.RunGroup(workers, func(id int, c *sim.Clock) int {

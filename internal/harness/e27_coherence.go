@@ -193,7 +193,7 @@ func e27BatchedCell(eng e27Engine, ops, writers int) e27CellResult {
 	cfg := sim.DefaultConfig()
 	cfg.Stats = sim.NewRegistry()
 	e := eng.build(cfg)
-	e.(engine.GroupCommitter).EnableGroupCommit(8, 50*time.Microsecond)
+	engine.Caps(e).GroupCommitter.EnableGroupCommit(8, 50*time.Microsecond)
 	acked := make([]atomic.Uint64, e27Keys)
 	var commits, staleReads atomic.Int64
 	key := func(i int) uint64 { return uint64(e27KeyBase + i*e27KeyStride) }

@@ -82,8 +82,36 @@ func (m *Meter) Charge(c *Clock, d time.Duration) time.Duration {
 	return d
 }
 
+// Observe accounts one operation of modeled duration d against the meter
+// WITHOUT advancing the caller's clock or applying a queueing penalty. It
+// exists for observers that meter work whose time was already charged
+// elsewhere (an engine's substrate meters advanced the clock during the
+// transaction); Charge-ing it again would double-bill the worker. The
+// queued flag is still derived from the instantaneous utilization so
+// telemetry consumers (autoscale controllers) see congestion.
+func (m *Meter) Observe(c *Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if e := c.epoch; e > m.epoch.Load() {
+		if old := m.epoch.Load(); e > old && m.epoch.CompareAndSwap(old, e) {
+			m.busy.Store(0)
+		}
+	}
+	m.totalOps.Add(1)
+	busy := m.busy.Add(int64(d))
+	if elapsed := c.Now(); elapsed > 0 &&
+		float64(busy)/float64(m.capacity)/float64(elapsed) > 1 {
+		m.queuedOps.Add(1)
+	}
+}
+
 // Busy reports the total virtual busy time demanded so far.
 func (m *Meter) Busy() time.Duration { return time.Duration(m.busy.Load()) }
+
+// QueuedOps reports the number of charged operations that observed
+// queueing (the numerator of QueuedFraction).
+func (m *Meter) QueuedOps() int64 { return m.queuedOps.Load() }
 
 // TotalOps reports the number of operations charged.
 func (m *Meter) TotalOps() int64 { return m.totalOps.Load() }
