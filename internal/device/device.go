@@ -208,11 +208,22 @@ func (o *ObjectStore) GetRange(c *sim.Clock, key string, off, length int) ([]byt
 }
 
 // Delete removes an object (metadata op; charged a base put latency).
-func (o *ObjectStore) Delete(c *sim.Clock, key string) {
+// Deletion is part of the log-truncation path (segment garbage
+// collection), so it is fault-injectable like the other fabric ops: a
+// dropped delete leaves the object in place and reports the fault —
+// callers retry on the next round (deletion is idempotent).
+func (o *ObjectStore) Delete(c *sim.Clock, key string) error {
+	op := o.cfg.Begin(c, "obj.delete")
+	if f := o.cfg.Inject(c, "obj.delete"); f.Drop || f.Torn {
+		op.End(0)
+		return f.FaultErr()
+	}
 	o.mu.Lock()
 	delete(o.objects, key)
 	o.mu.Unlock()
 	o.meter.Charge(c, o.cfg.ObjPut.Base)
+	op.End(0)
+	return nil
 }
 
 // Len reports the number of stored objects.

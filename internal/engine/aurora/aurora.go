@@ -17,6 +17,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -51,6 +52,11 @@ type Engine struct {
 	// quorum flushes (engine.GroupCommitter).
 	gc *sim.Batcher[[]wal.Record, wal.LSN]
 
+	// ckpt runs the log-lifecycle rounds: materialize the durable prefix
+	// on the storage replicas, publish the horizon, truncate the writer's
+	// log below it.
+	ckpt *checkpoint.Coordinator
+
 	mu         sync.Mutex
 	durableLSN wal.LSN
 	nextTx     atomic.Uint64
@@ -81,6 +87,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, readers int) *Engine {
 	for i, rp := range e.readers {
 		rp.SetCoherence(e.dir.Register(fmt.Sprintf("reader%d", i), rp), stampOf)
 	}
+	e.ckpt = checkpoint.New(cfg, "ckpt.aurora")
 	return e
 }
 
@@ -103,6 +110,7 @@ func Peer(root *Engine, peerID, poolPages int) *Engine {
 		log:    root.log,
 		locks:  txn.NewLockTable(),
 		dir:    root.dir,
+		ckpt:   root.ckpt, // one horizon per shared log
 	}
 	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetcherAt(func() wal.LSN { return e.DurableLSN() }), nil)
 	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
@@ -397,6 +405,38 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. Aurora's checkpoint is a
+// storage-side operation: the writer nudges every alive replica to
+// materialize the log prefix at or below the durable LSN into pages
+// (Heal), publishes the horizon to the volume, and only then drops its
+// own retained log tail below the horizon. Replicas that are down during
+// the round adopt the horizon later via RepairReplica's checkpoint-image
+// copy, so truncation never strands them.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: e.DurableLSN,
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			shipped := e.Volume.Heal(c, e.log)
+			e.stats.NetMsgs.Add(int64(shipped))
+			advanced := e.Volume.AdvanceHorizon(c, h)
+			if advanced < e.Volume.WriteQ {
+				// Fewer than a write quorum hold the checkpoint; keep the
+				// full tail so repair can still replay from the log.
+				return storagenode.ErrNoQuorum
+			}
+			e.stats.NetMsgs.Add(int64(advanced))
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Pool exposes the writer cache.
 func (e *Engine) Pool() *buffer.Pool { return e.pool }

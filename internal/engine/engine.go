@@ -14,6 +14,7 @@ import (
 	"github.com/disagglab/disagg/internal/engine/history"
 	"github.com/disagglab/disagg/internal/sim"
 	"github.com/disagglab/disagg/internal/sim/admission"
+	"github.com/disagglab/disagg/internal/wal"
 )
 
 // Tx is the per-transaction handle given to workload closures.
@@ -61,6 +62,24 @@ type Stamper interface {
 	CommitStamp() (stamp uint64, ok bool)
 }
 
+// Checkpointer is implemented by engines that bound crash recovery: a
+// checkpoint makes durable page state cover every acked commit up to a
+// recovery horizon, publishes the horizon, and truncates log state below
+// it — so Recover replays only the post-horizon tail instead of the full
+// history.
+type Checkpointer interface {
+	// Checkpoint runs one checkpoint round on the caller's clock: flush
+	// durable page state, publish the new recovery horizon, truncate log
+	// state below it. Safe to call concurrently with transactions; a
+	// commit acked during the round lands above the captured horizon and
+	// survives in the retained log tail.
+	Checkpoint(c *sim.Clock) error
+	// RecoveryHorizon reports the published horizon: every commit at or
+	// below it is covered by checkpointed page state, and recovery replays
+	// only records above it.
+	RecoveryHorizon() wal.LSN
+}
+
 // GroupCommitter is implemented by engines whose commit path can ride a
 // shared group flush (sim.Batcher): concurrent committers are combined
 // into one replicated log append and wake with the same durable LSN.
@@ -84,6 +103,9 @@ type Capability struct {
 	// GroupCommitter is non-nil when the commit path can ride a shared
 	// group flush.
 	GroupCommitter GroupCommitter
+	// Checkpointer is non-nil when the engine can bound recovery by
+	// checkpointing and truncating its logs.
+	Checkpointer Checkpointer
 }
 
 // Caps discovers e's optional capabilities.
@@ -92,6 +114,7 @@ func Caps(e Engine) Capability {
 	c.Recoverer, _ = e.(Recoverer)
 	c.Reader, _ = e.(Reader)
 	c.GroupCommitter, _ = e.(GroupCommitter)
+	c.Checkpointer, _ = e.(Checkpointer)
 	return c
 }
 

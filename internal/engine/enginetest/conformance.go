@@ -165,6 +165,18 @@ func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *co
 			res.keys[k] = &keyState{owner: id}
 		}
 	}
+	extendConformanceWorkload(e, res, seed)
+	return res
+}
+
+// extendConformanceWorkload continues a workload on the same engine and
+// history: each worker issues another confOps operations over its own
+// keys, advancing the per-key sequences where they left off. The recovery
+// drills use it to land commits between checkpoint rounds, so the
+// crash/recover verification spans checkpointed pages, the retained log
+// tail, and everything in between.
+func extendConformanceWorkload(e engine.Engine, res *conformanceResult, seed int64) {
+	layout := res.layout
 	sim.RunGroup(confWorkers, func(id int, c *sim.Clock) int {
 		rng := sim.NewRand(seed, id)
 		lo, _ := workerKeys(id)
@@ -215,7 +227,6 @@ func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *co
 		}
 		return done
 	})
-	return res
 }
 
 // verifyFinalState re-reads every workload key (with bounded retries, on a
@@ -368,6 +379,26 @@ func RunConformance(t *testing.T, factory Factory) {
 			runCoherenceProbe(t, factory, &p, false)
 		})
 	}
+
+	// Recovery: the log-lifecycle drills. Checkpoint rounds interleave
+	// with commits (clean, under every fault profile, and racing the
+	// workload from a concurrent goroutine), truncation is held open by a
+	// dedicated fault profile, and every variant ends in a crash/recover
+	// cycle that must surface all acked commits — from checkpointed pages
+	// and from the retained log tail alike.
+	t.Run("Recovery/Clean", func(t *testing.T) { runRecoveryDrill(t, factory, nil, seed) })
+	for _, p := range fault.Profiles() {
+		p := p
+		t.Run("Recovery/Fault/"+p.Name, func(t *testing.T) {
+			runRecoveryDrill(t, factory, &p, seed)
+		})
+	}
+	t.Run("Recovery/ConcurrentCheckpoint", func(t *testing.T) {
+		runConcurrentCheckpoint(t, factory, seed)
+	})
+	t.Run("Recovery/TornTruncation", func(t *testing.T) {
+		runTornTruncation(t, factory, seed)
+	})
 
 	// Batched variants: engines supporting group commit re-run the seeded
 	// suite with batching enabled, so fault replays also cover grouped

@@ -14,6 +14,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -46,6 +47,11 @@ type Engine struct {
 	// ARIES tiers (commit counts; 0 disables).
 	CheckpointRemoteEvery  int
 	CheckpointStorageEvery int
+
+	// ckpt drives the storage (slow) tier's log lifecycle: it owns the
+	// truncation horizon, below which the on-disk images are the only
+	// source of history.
+	ckpt *checkpoint.Coordinator
 
 	mu sync.Mutex
 	// disk is durable page storage.
@@ -84,6 +90,7 @@ func New(cfg *sim.Config, layout heap.Layout, localPages, remotePages int) *Engi
 	e.dir.OnInvalidate = func(n int) { e.stats.Invalidations.Add(int64(n)) }
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.Tiers.SetCoherence(e.dir, "legobase", func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.legobase")
 	return e
 }
 
@@ -230,9 +237,39 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	return nil
 }
 
-// CheckpointRemote is the fast ARIES tier: dirty local pages are written
-// to the remote memory pool (cheap RDMA), advancing the remote horizon.
+// CheckpointRemote is the fast ARIES tier: the remote memory pool
+// absorbs every commit at or below a horizon captured BEFORE the flush.
+// The original version captured the horizon after — a commit that became
+// durable during the flush (applied only to the soon-to-die local cache,
+// or not applied at all) fell below the horizon without its pages in
+// remote memory, and Recover's from-horizon replay skipped it. The
+// capture-first ordering plus a log-tail redo closes both holes.
 func (e *Engine) CheckpointRemote(c *sim.Clock) error {
+	e.mu.Lock()
+	target := e.durableLSN
+	from := e.remoteCkptLSN
+	e.mu.Unlock()
+	// Redo the (from, target] tail through the tier hierarchy: Mutate's
+	// page-LSN guard skips records already applied, and pulls any page the
+	// caches dropped back from storage.
+	recs, err := e.log.Replay(from)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r.LSN > target || r.Type != wal.TypeUpdate {
+			continue
+		}
+		rec := r
+		if err := e.Tiers.Mutate(c, page.ID(rec.PageID), func(data []byte) error {
+			if wal.LSN(page.Wrap(data).LSN()) >= rec.LSN {
+				return nil
+			}
+			return e.layout.WriteValue(data, rec.Key, rec.After, uint64(rec.LSN))
+		}); err != nil {
+			return err
+		}
+	}
 	for _, id := range e.Tiers.Local.DirtyIDs() {
 		data, err := e.Tiers.Local.Get(c, id)
 		if err != nil {
@@ -246,37 +283,92 @@ func (e *Engine) CheckpointRemote(c *sim.Clock) error {
 	// so they are not re-demoted.
 	e.Tiers.Local.FlushAll(sim.NewClock())
 	e.mu.Lock()
-	e.remoteCkptLSN = e.durableLSN
+	if target > e.remoteCkptLSN {
+		e.remoteCkptLSN = target
+	}
 	e.mu.Unlock()
 	return nil
 }
 
-// CheckpointStorage is the slow ARIES tier: remote-memory pages are made
-// durable on storage, advancing the storage horizon and truncating the log.
+// CheckpointStorage is the slow ARIES tier and the engine's log
+// lifecycle: on-disk page images absorb the retained tail at or below
+// the coordinator's horizon, the horizon is published, and only then is
+// the log truncated below it. The original version advanced the horizon
+// without ever truncating (unbounded log) and trusted the remote tier's
+// current contents (whose LRU may have evicted below-horizon pages).
 func (e *Engine) CheckpointStorage(c *sim.Clock) error {
-	for _, id := range e.Tiers.Remote.IDs() {
-		buf := make([]byte, e.layout.PageSize)
-		ok, err := e.Tiers.Remote.Get(c, id, buf)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			continue
-		}
-		cp := make([]byte, len(buf))
-		copy(cp, buf)
-		e.mu.Lock()
-		e.disk[id] = cp
-		e.mu.Unlock()
-		c.Advance(e.cfg.TCP.Cost(len(buf)))
-		e.ssd.Write(c, len(buf))
-		e.stats.PageBytes.Add(int64(len(buf)))
-	}
-	e.mu.Lock()
-	e.storageCkptLSN = e.durableLSN
-	e.mu.Unlock()
-	return nil
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			// Redo the retained tail straight into the disk images — the
+			// disk copy must cover <= h independent of what either cache
+			// tier currently holds.
+			recs, err := e.log.Replay(e.ckpt.Horizon())
+			if err != nil {
+				return err
+			}
+			dirty := map[page.ID]bool{}
+			e.mu.Lock()
+			for _, r := range recs {
+				if r.LSN > h || r.Type != wal.TypeUpdate {
+					continue
+				}
+				id := page.ID(r.PageID)
+				img, ok := e.disk[id]
+				if !ok {
+					img = e.layout.FormatPage(id).Bytes()
+					e.disk[id] = img
+				}
+				if uint64(r.LSN) <= page.Wrap(img).LSN() {
+					continue
+				}
+				if err := e.layout.WriteValue(img, r.Key, r.After, uint64(r.LSN)); err != nil {
+					e.mu.Unlock()
+					return err
+				}
+				dirty[id] = true
+			}
+			e.mu.Unlock()
+			for range dirty {
+				c.Advance(e.cfg.TCP.Cost(e.layout.PageSize))
+				e.ssd.Write(c, e.layout.PageSize)
+				e.stats.PageBytes.Add(int64(e.layout.PageSize))
+			}
+			e.mu.Lock()
+			if h > e.storageCkptLSN {
+				e.storageCkptLSN = h
+			}
+			// The fast tier's replay start must never fall below the
+			// truncation floor.
+			if h > e.remoteCkptLSN {
+				e.remoteCkptLSN = h
+			}
+			e.mu.Unlock()
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			e.log.TruncateBefore(h + 1)
+			e.ssd.Write(c, 24) // checkpoint master record
+			return nil
+		},
+	})
 }
+
+// Checkpoint implements engine.Checkpointer: one full round of both
+// ARIES tiers, ending in log truncation.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	if err := e.CheckpointRemote(c); err != nil {
+		return err
+	}
+	return e.CheckpointStorage(c)
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Crash implements engine.Recoverer: the compute node dies; local cache is
 // lost, remote memory and storage survive.
@@ -294,8 +386,13 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	from := e.remoteCkptLSN
 	e.mu.Unlock()
 	// Replay the short tail; pages come from remote memory on demand
-	// (charged as RDMA reads inside Tiers.Get).
-	recs := e.log.Since(from)
+	// (charged as RDMA reads inside Tiers.Get). Replay (not Since) so a
+	// horizon below the truncation floor fails loudly instead of redoing
+	// a partial prefix as if it were complete.
+	recs, err := e.log.Replay(from)
+	if err != nil {
+		return 0, err
+	}
 	for _, r := range recs {
 		if r.Type != wal.TypeUpdate {
 			continue
@@ -321,7 +418,10 @@ func (e *Engine) RecoverFromStorageOnly(c *sim.Clock) (time.Duration, error) {
 	e.mu.Lock()
 	from := e.storageCkptLSN
 	e.mu.Unlock()
-	recs := e.log.Since(from)
+	recs, err := e.log.Replay(from)
+	if err != nil {
+		return 0, err
+	}
 	logBytes := 0
 	for i := range recs {
 		logBytes += recs[i].EncodedSize()

@@ -2,3 +2,8 @@ package monolithic
 
 // LogLen exposes the in-memory log length to the external test package.
 func (e *Engine) LogLen() int { return e.log.Len() }
+
+// SetBetweenFlushAndTruncate installs a hook that runs inside a
+// checkpoint's flush→truncate window — the window whose in-flight
+// commits the original Checkpoint ordering truncated away.
+func (e *Engine) SetBetweenFlushAndTruncate(fn func()) { e.testBetweenFlushAndTruncate = fn }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -37,6 +38,12 @@ type Engine struct {
 	// next reader through fetchPage's log replay.
 	dir   *coherence.Directory
 	poolH *coherence.Handle
+	ckpt  *checkpoint.Coordinator
+
+	// testBetweenFlushAndTruncate, when set (tests only), runs in the
+	// checkpoint's flush→truncate window — the window whose in-flight
+	// commits the original Checkpoint ordering lost.
+	testBetweenFlushAndTruncate func()
 
 	mu sync.Mutex
 	// disk is the durable page store (post-checkpoint images).
@@ -65,6 +72,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.poolH = e.dir.Register("pool", e.pool)
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.monolithic")
 	return e
 }
 
@@ -93,7 +101,14 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 	e.mu.Lock()
 	ckpt := e.checkpointLSN
 	e.mu.Unlock()
-	for _, r := range e.log.Since(ckpt) {
+	recs, err := e.log.Replay(ckpt)
+	if err != nil {
+		// The log was truncated past the page's checkpoint floor — a
+		// horizon-bookkeeping bug, surfaced loudly rather than serving a
+		// silently stale page.
+		return nil, err
+	}
+	for _, r := range recs {
 		if r.Type == wal.TypeUpdate && page.ID(r.PageID) == id && uint64(r.LSN) > pg.LSN() {
 			if err := e.layout.WriteValue(out, r.Key, r.After, uint64(r.LSN)); err != nil {
 				break
@@ -209,16 +224,70 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	return nil
 }
 
-// Checkpoint flushes all dirty pages and truncates the log.
+// Checkpoint flushes all dirty pages and truncates the log, implementing
+// engine.Checkpointer. The recovery horizon is captured BEFORE the flush:
+// a commit acked while the flush runs lands above the horizon and
+// survives in the retained log tail. (The original flush-then-capture
+// ordering truncated such a commit's records while its page updates were
+// still only in the soon-to-be-lost buffer pool.)
 func (e *Engine) Checkpoint(c *sim.Clock) error {
-	if err := e.pool.FlushAll(c); err != nil {
-		return err
-	}
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			// Redo the retained tail up to the horizon into the pool
+			// before flushing: a commit whose in-pool apply failed (its
+			// frame was staled) exists only in log records the truncation
+			// below h+1 is about to discard. Page-LSN guards make the
+			// redo idempotent against already-applied commits.
+			recs, err := e.log.Replay(e.ckpt.Horizon())
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				if r.LSN > h || r.Type != wal.TypeUpdate {
+					continue
+				}
+				rec := r
+				_ = e.pool.Mutate(c, page.ID(rec.PageID), func(data []byte) error {
+					if uint64(rec.LSN) <= page.Wrap(data).LSN() {
+						return nil
+					}
+					return e.layout.WriteValue(data, rec.Key, rec.After, uint64(rec.LSN))
+				})
+			}
+			if err := e.pool.FlushAll(c); err != nil {
+				return err
+			}
+			e.mu.Lock()
+			if h > e.checkpointLSN {
+				e.checkpointLSN = h
+			}
+			e.mu.Unlock()
+			if e.testBetweenFlushAndTruncate != nil {
+				e.testBetweenFlushAndTruncate()
+			}
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			e.log.TruncateBefore(h + 1)
+			e.ssd.Write(c, 24) // checkpoint master record
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
+
+// DurableLSN reports the highest LSN fsynced to the SSD log.
+func (e *Engine) DurableLSN() wal.LSN {
 	e.mu.Lock()
-	e.checkpointLSN = e.durableLSN
-	e.mu.Unlock()
-	e.log.TruncateBefore(e.checkpointLSN + 1)
-	return nil
+	defer e.mu.Unlock()
+	return e.durableLSN
 }
 
 // Crash implements engine.Recoverer: the buffer pool is lost; the SSD
@@ -235,7 +304,10 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.mu.Lock()
 	ckpt := e.checkpointLSN
 	e.mu.Unlock()
-	recs := e.log.Since(ckpt)
+	recs, err := e.log.Replay(ckpt)
+	if err != nil {
+		return 0, err
+	}
 	// Read the log tail from SSD.
 	logBytes := 0
 	for i := range recs {

@@ -80,6 +80,61 @@ func TestRecoveryReplaysOnlyTail(t *testing.T) {
 	}
 }
 
+// TestCommitDuringCheckpointSurvivesRestart is the flush→truncate
+// ordering regression: a commit acknowledged after the checkpoint's
+// FlushAll but before its TruncateBefore used to have its log records
+// truncated (the horizon was captured after the flush, so it covered the
+// late commit) while its page updates lived only in the buffer pool —
+// crash, and the acked commit was gone. The horizon must be captured
+// before the flush so late commits stay in the retained tail.
+func TestCommitDuringCheckpointSurvivesRestart(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := enginetest.Layout(t)
+	e := monolithic.New(cfg, layout, 64)
+	c := sim.NewClock()
+	for i := uint64(0); i < 20; i++ {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error { return tx.Write(i, make([]byte, 64)) })
+	}
+	// The racing commit lands between the dirty-page flush and the log
+	// truncation.
+	late := make([]byte, 64)
+	for i := range late {
+		late[i] = 0xA5
+	}
+	lateErr := error(nil)
+	e.SetBetweenFlushAndTruncate(func() {
+		lateErr = engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(7, late)
+		})
+	})
+	if err := e.Checkpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	if lateErr != nil {
+		t.Fatalf("racing commit was not acknowledged: %v", lateErr)
+	}
+	e.Crash()
+	if _, err := e.Recover(sim.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+		v, err := tx.Read(7)
+		if err != nil {
+			return err
+		}
+		got = v
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 0xA5 {
+			t.Fatalf("acked commit lost across checkpoint+restart: byte %d = %#x", i, got[i])
+		}
+	}
+}
+
 func TestNoNetworkTraffic(t *testing.T) {
 	e := monolithic.New(sim.DefaultConfig(), enginetest.Layout(t), 64)
 	c := sim.NewClock()

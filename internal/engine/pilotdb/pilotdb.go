@@ -14,12 +14,14 @@
 package pilotdb
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -66,6 +68,12 @@ type Engine struct {
 	Validations atomic.Int64
 	Repairs     atomic.Int64
 
+	// ckpt drives the log lifecycle: the page store materializes the
+	// durable prefix and adopts the horizon, then the PM log and the
+	// compute-side log truncate below it — PM capacity is the scarce
+	// resource this engine exists to economize.
+	ckpt *checkpoint.Coordinator
+
 	// LagEvery delays page-store ingestion by one batch every N commits
 	// to surface stale optimistic reads (0 = always lag by one commit).
 	mu         sync.Mutex
@@ -92,6 +100,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int, opt Options) *Engin
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.poolH = e.dir.Register("pool", e.pool)
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.pilotdb")
 	return e
 }
 
@@ -131,6 +140,18 @@ func (e *Engine) fetchPage(c *sim.Clock, id page.ID) ([]byte, error) {
 		// Stale: repair locally from the PM log's per-page chain.
 		e.Repairs.Add(1)
 		recs, err := e.PMLog.SincePage(c, uint64(id), wal.LSN(page.Wrap(data).LSN()))
+		if errors.Is(err, wal.ErrTruncated) {
+			// The repair window starts below the PM log's truncation
+			// floor: the per-page chain cannot reconstruct the gap.
+			// Fall back to a coordinated read — converge the page store
+			// from the authoritative log and fetch a fresh image.
+			e.PageStore.CatchUpFromLog(c, e.log)
+			data, err = e.PageStore.ReadPage(c, id, want)
+			if err != nil {
+				return nil, err
+			}
+			return data, nil
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -323,6 +344,52 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. The PM log is the scarce
+// fast tier, so the checkpoint drains the asynchronous page-store
+// pipeline (the pending batch plus any dropped deliveries), stamps the
+// store with the horizon, and truncates the PM log — a fabric RPC that
+// can fail and is retried next round — plus the compute-side log.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			e.mu.Lock()
+			pend := e.pending
+			e.pending = nil
+			e.mu.Unlock()
+			if len(pend) > 0 {
+				if err := e.PageStore.Ingest(c, pend); err != nil {
+					e.mu.Lock()
+					e.pending = append(pend, e.pending...)
+					e.mu.Unlock()
+					return err
+				}
+			}
+			if e.PageStore.Failed() {
+				return storagenode.ErrStaleReplica
+			}
+			shipped := e.PageStore.CatchUpFromLog(c, e.log)
+			e.stats.NetMsgs.Add(int64(shipped))
+			e.PageStore.AdvanceHorizon(c, h)
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			if err := e.PMLog.TruncateBefore(c, h+1); err != nil {
+				return err
+			}
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Pool exposes the compute cache.
 func (e *Engine) Pool() *buffer.Pool { return e.pool }

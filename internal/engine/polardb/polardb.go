@@ -15,6 +15,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -51,10 +52,16 @@ type Engine struct {
 	// (page shipping; 0 disables).
 	CheckpointEvery int
 
+	// ckpt drives the full log lifecycle (Checkpoint): redo the retained
+	// tail into the PolarFS page images, publish the horizon, compact the
+	// raft log and truncate the redo log below it.
+	ckpt *checkpoint.Coordinator
+
 	mu          sync.Mutex
 	pagesFS     map[page.ID][]byte // page images persisted in PolarFS
 	durableLSN  wal.LSN
 	commitCount int
+	fsCompactTo int // raft commit index captured with the horizon
 	nextTx      atomic.Uint64
 	crashed     atomic.Bool
 }
@@ -76,6 +83,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages int) *Engine {
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.poolH = e.dir.Register("pool", e.pool)
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.polardb")
 	return e
 }
 
@@ -98,6 +106,7 @@ func Peer(root *Engine, peerID, poolPages int) *Engine {
 		pagesFS:         make(map[page.ID][]byte),
 		dir:             root.dir,
 		CheckpointEvery: root.CheckpointEvery,
+		ckpt:            root.ckpt, // one horizon per shared log
 	}
 	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetchPage, e.shipPage)
 	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
@@ -362,6 +371,79 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. PolarDB already ships page
+// images, so the flush step redoes the retained log tail (at or below
+// the horizon) directly into the PolarFS page images — covering commits
+// whose cache applies failed and never got shipped — then runs the usual
+// dirty-page flush. Truncation compacts the raft log up to the commit
+// index captured with the horizon and drops the redo log below the
+// horizon. Entries compacted out of raft are covered by the shipped
+// images plus the retained redo tail. The checkpoint must run on the
+// node that owns the shipped images; fleet peers share the coordinator
+// so they observe one consistent horizon.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.fsCompactTo = e.FS.CommitIndex()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			recs, err := e.log.Replay(e.ckpt.Horizon())
+			if err != nil {
+				return err
+			}
+			dirty := map[page.ID]int{}
+			e.mu.Lock()
+			for _, r := range recs {
+				if r.LSN > h || r.Type != wal.TypeUpdate {
+					continue
+				}
+				id := page.ID(r.PageID)
+				img, ok := e.pagesFS[id]
+				if !ok {
+					img = e.layout.FormatPage(id).Bytes()
+					e.pagesFS[id] = img
+				}
+				if uint64(r.LSN) <= page.Wrap(img).LSN() {
+					continue
+				}
+				if err := e.layout.WriteValue(img, r.Key, r.After, uint64(r.LSN)); err != nil {
+					e.mu.Unlock()
+					return err
+				}
+				dirty[id] = len(img)
+			}
+			e.mu.Unlock()
+			for _, n := range dirty {
+				c.Advance(e.cfg.RDMA.Cost(n) + e.cfg.SSDWrite.Cost(n))
+				e.stats.PageBytes.Add(int64(n))
+				e.stats.NetBytes.Add(int64(n))
+				e.stats.NetMsgs.Add(1)
+				e.stats.StorageOps.Add(1)
+			}
+			// Regular page shipping of whatever is dirty in the cache; a
+			// fault here is tolerable (the redo above already covered the
+			// horizon) but surfaces as a failed round for the caller.
+			return e.pool.FlushAll(c)
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			e.mu.Lock()
+			idx := e.fsCompactTo
+			e.mu.Unlock()
+			if err := e.FS.CompactTo(c, idx); err != nil {
+				return err
+			}
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Pool exposes the buffer pool.
 func (e *Engine) Pool() *buffer.Pool { return e.pool }

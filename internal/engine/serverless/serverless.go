@@ -17,6 +17,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/memnode"
@@ -53,6 +54,10 @@ type Engine struct {
 	// every node cache validate their entries against it.
 	dir     *coherence.Directory
 	stampOf buffer.StampFunc
+
+	// ckpt materializes the durable prefix on the volume replicas and
+	// truncates the compute-side log below the published horizon.
+	ckpt *checkpoint.Coordinator
 
 	mu         sync.Mutex
 	durableLSN wal.LSN
@@ -96,6 +101,7 @@ func New(cfg *sim.Config, layout heap.Layout, nodes, localPages, sharedPages int
 		n.cache.SetCoherence(e.dir.Register(fmt.Sprintf("node%d", i), n.cache), e.stampOf)
 		e.nodes = append(e.nodes, n)
 	}
+	e.ckpt = checkpoint.New(cfg, "ckpt.serverless")
 	return e
 }
 
@@ -390,6 +396,38 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.primary.Store(int32(next))
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. The shared memory pool is
+// volatile — it never counts as checkpoint state. Like Aurora, the
+// durable flush is storage-side: the volume replicas materialize the
+// prefix at or below the durable LSN and adopt the horizon; only then
+// does the compute-side log drop its tail below it.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			shipped := e.Volume.Heal(c, e.log)
+			e.stats.NetMsgs.Add(int64(shipped))
+			advanced := e.Volume.AdvanceHorizon(c, h)
+			if advanced < e.Volume.WriteQ {
+				return storagenode.ErrNoQuorum
+			}
+			e.stats.NetMsgs.Add(int64(advanced))
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Nodes reports the number of compute nodes.
 func (e *Engine) Nodes() int { return len(e.nodes) }

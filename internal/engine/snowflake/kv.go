@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -18,6 +19,13 @@ import (
 
 // segPrefix names the immutable commit-segment objects in the store.
 const segPrefix = "kvseg/"
+
+// ckptPrefix names the consolidated snapshot objects. A snapshot at LSN h
+// holds the full materialized view covering every commit <= h, terminated
+// by a TypeCommit marker record carrying h — recovery rejects a snapshot
+// whose marker is missing (a torn upload) and falls back to the segments,
+// which are only garbage-collected after the snapshot landed whole.
+const ckptPrefix = "kvckpt/"
 
 // KV is a transactional KV engine in the Snowflake storage style (§2.2):
 // ALL durable state lives as immutable objects in cloud object storage,
@@ -39,6 +47,11 @@ type KV struct {
 	// segment LSN order matches apply order.
 	commitMu sync.Mutex
 
+	// ckpt consolidates segments into a snapshot object and deletes the
+	// covered segments — without it recovery re-lists and replays every
+	// segment ever uploaded (linear in history length).
+	ckpt *checkpoint.Coordinator
+
 	mu         sync.Mutex
 	vals       map[uint64][]byte // volatile materialized view
 	durableLSN wal.LSN
@@ -55,6 +68,7 @@ func NewKV(cfg *sim.Config, layout heap.Layout) *KV {
 		log:    wal.NewLog(),
 		locks:  txn.NewLockTable(),
 		vals:   make(map[uint64][]byte),
+		ckpt:   checkpoint.New(cfg, "ckpt.snowflake"),
 	}
 }
 
@@ -164,6 +178,75 @@ func (e *KV) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 
 func segKey(lsn wal.LSN) string { return fmt.Sprintf("%s%020d", segPrefix, uint64(lsn)) }
 
+func ckptKey(lsn wal.LSN) string { return fmt.Sprintf("%s%020d", ckptPrefix, uint64(lsn)) }
+
+// Checkpoint implements engine.Checkpointer: upload a consolidated
+// snapshot of the materialized view at the durable horizon, then delete
+// the commit segments the snapshot covers (and superseded snapshots).
+// The view may already contain commits newer than the horizon — that is
+// safe, because their segments stay above the floor and replay over the
+// snapshot idempotently. A torn snapshot upload fails the round before
+// anything is deleted; a failed delete leaves garbage that the next
+// round retries (deletion is idempotent).
+func (e *KV) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: e.DurableLSN,
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			e.mu.Lock()
+			keys := make([]uint64, 0, len(e.vals))
+			snap := make(map[uint64][]byte, len(e.vals))
+			for k, v := range e.vals {
+				keys = append(keys, k)
+				snap[k] = append([]byte(nil), v...)
+			}
+			e.mu.Unlock()
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			var encoded []byte
+			for _, k := range keys {
+				rec := wal.Record{LSN: h, Type: wal.TypeUpdate, Key: k, After: snap[k]}
+				encoded = rec.Encode(encoded)
+			}
+			// Terminal marker: recovery only trusts a snapshot that ends
+			// with it (a torn upload loses the tail, marker included).
+			marker := wal.Record{LSN: h, Type: wal.TypeCommit}
+			encoded = marker.Encode(encoded)
+			if err := e.Store.Put(c, ckptKey(h), encoded); err != nil {
+				return err
+			}
+			e.stats.PageBytes.Add(int64(len(encoded)))
+			e.stats.NetBytes.Add(int64(len(encoded)))
+			e.stats.NetMsgs.Add(1)
+			e.stats.StorageOps.Add(1)
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			bound := segKey(h)
+			own := ckptKey(h)
+			var firstErr error
+			for _, k := range e.Store.Keys() {
+				covered := (strings.HasPrefix(k, segPrefix) && k <= bound) ||
+					(strings.HasPrefix(k, ckptPrefix) && k < own)
+				if !covered {
+					continue
+				}
+				if err := e.Store.Delete(c, k); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				e.stats.StorageOps.Add(1)
+				e.stats.NetMsgs.Add(1)
+			}
+			e.log.TruncateBefore(h + 1)
+			return firstErr
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *KV) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
+
 // Crash implements engine.Recoverer: the stateless compute node loses its
 // materialized view; the object store survives.
 func (e *KV) Crash() {
@@ -173,23 +256,60 @@ func (e *KV) Crash() {
 	e.mu.Unlock()
 }
 
-// Recover implements engine.Recoverer: list the commit segments, download
-// and replay them in LSN order. Truncated tails of torn uploads are
-// discarded; whole records within them are replayed (ambiguous-outcome
-// commits may surface, exactly as a real commit timeout can).
+// Recover implements engine.Recoverer: load the newest complete
+// snapshot, then list the commit segments above it and replay them in
+// LSN order. Truncated tails of torn segment uploads are discarded;
+// whole records within them are replayed (ambiguous-outcome commits may
+// surface, exactly as a real commit timeout can). A torn SNAPSHOT is
+// rejected outright — its covered segments were never deleted, so an
+// older snapshot or the raw segments still reconstruct everything.
 func (e *KV) Recover(c *sim.Clock) (time.Duration, error) {
 	start := c.Now()
 	keys := e.Store.Keys()
-	var segs []string
+	var segs, ckpts []string
 	for _, k := range keys {
-		if strings.HasPrefix(k, segPrefix) {
+		switch {
+		case strings.HasPrefix(k, segPrefix):
 			segs = append(segs, k)
+		case strings.HasPrefix(k, ckptPrefix):
+			ckpts = append(ckpts, k)
 		}
 	}
 	sort.Strings(segs) // zero-padded LSN names sort in commit order
+	sort.Sort(sort.Reverse(sort.StringSlice(ckpts)))
 	vals := make(map[uint64][]byte)
-	var high wal.LSN
+	var high, snapLSN wal.LSN
+	for _, k := range ckpts {
+		data, err := e.Store.Get(c, k)
+		if err != nil {
+			// One retry; a persistently unreadable snapshot must fail the
+			// recovery rather than silently fall back past truncated
+			// segments.
+			data, err = e.Store.Get(c, k)
+			if err != nil {
+				return 0, err
+			}
+		}
+		recs, _, err := wal.DecodePrefix(data)
+		if err != nil || len(recs) == 0 || recs[len(recs)-1].Type != wal.TypeCommit {
+			// Torn upload (missing terminal marker): the round that wrote
+			// it never deleted anything — try the previous snapshot.
+			continue
+		}
+		for _, r := range recs {
+			if r.Type == wal.TypeUpdate {
+				vals[r.Key] = append([]byte(nil), r.After...)
+			}
+		}
+		snapLSN = recs[len(recs)-1].LSN
+		high = snapLSN
+		break
+	}
+	bound := segKey(snapLSN)
 	for _, k := range segs {
+		if snapLSN > 0 && k <= bound {
+			continue // covered by the snapshot (GC may not have run yet)
+		}
 		data, err := e.Store.Get(c, k)
 		if err != nil {
 			// One retry: a transient injected fetch error must not turn

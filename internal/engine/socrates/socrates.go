@@ -17,6 +17,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/device"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
@@ -57,6 +58,11 @@ type Engine struct {
 	// (0 disables).
 	SnapshotEvery int
 
+	// ckpt drives the log lifecycle: page servers absorb the durable
+	// prefix and adopt the horizon, then XLOG and the authoritative log
+	// truncate below it.
+	ckpt *checkpoint.Coordinator
+
 	mu          sync.Mutex
 	durableLSN  wal.LSN
 	commitCount int
@@ -84,6 +90,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageServers int) *Engi
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.poolH = e.dir.Register("pool", e.pool)
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.socrates")
 	return e
 }
 
@@ -105,6 +112,7 @@ func Peer(root *Engine, peerID, poolPages int) *Engine {
 		locks:         txn.NewLockTable(),
 		dir:           root.dir,
 		SnapshotEvery: root.SnapshotEvery,
+		ckpt:          root.ckpt, // one horizon per shared log
 	}
 	e.pool = buffer.NewPool(e.cfg, poolPages, e.fetchPage, nil)
 	e.poolH = e.dir.Register(fmt.Sprintf("peer%d", peerID), e.pool)
@@ -369,6 +377,47 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. In Socrates the durability
+// tier (XLOG) must stay small — it is the expensive fast tier — so the
+// checkpoint drives page servers to absorb the durable prefix, stamps
+// them with the horizon, and truncates XLOG (a fabric RPC that can fail
+// and is retried next round) plus the compute-side log below it.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			advanced := 0
+			for _, ps := range e.PageServers {
+				if ps.Failed() {
+					continue
+				}
+				shipped := ps.CatchUpFromLog(c, e.log)
+				e.stats.NetMsgs.Add(int64(shipped))
+				ps.AdvanceHorizon(c, h)
+				advanced++
+			}
+			if advanced == 0 {
+				return storagenode.ErrNoQuorum
+			}
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			if err := e.XLOG.TruncateBefore(c, h+1); err != nil {
+				return err
+			}
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // Pool exposes the compute cache.
 func (e *Engine) Pool() *buffer.Pool { return e.pool }

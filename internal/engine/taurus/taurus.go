@@ -15,6 +15,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/buffer"
 	"github.com/disagglab/disagg/internal/buffer/coherence"
+	"github.com/disagglab/disagg/internal/checkpoint"
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/page"
@@ -52,6 +53,10 @@ type Engine struct {
 	// GossipEvery runs one anti-entropy round every N commits.
 	GossipEvery int
 
+	// ckpt converges the page stores on the durable prefix, publishes the
+	// horizon, and truncates both log tiers below it.
+	ckpt *checkpoint.Coordinator
+
 	mu          sync.Mutex
 	durableLSN  wal.LSN
 	commitCount int
@@ -77,6 +82,7 @@ func New(cfg *sim.Config, layout heap.Layout, poolPages, nPageStores int) *Engin
 	e.dir.OnStale = func() { e.stats.StaleHits.Add(1) }
 	e.poolH = e.dir.Register("pool", e.pool)
 	e.pool.SetCoherence(e.poolH, func(d []byte) uint64 { return page.Wrap(d).LSN() })
+	e.ckpt = checkpoint.New(cfg, "ckpt.taurus")
 	return e
 }
 
@@ -312,6 +318,42 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }
+
+// Checkpoint implements engine.Checkpointer. Taurus checkpoints both
+// tiers: the page stores converge on the durable prefix (gossip, charged
+// to the checkpoint's clock — anti-entropy here is checkpoint work, not
+// a reader's problem) and adopt the horizon; then the quorum log stores
+// and the authoritative log drop everything below it. The log-store
+// truncation is a fabric RPC and can fail under injected faults — the
+// coordinator surfaces the error after publishing the horizon, and the
+// next round retries the (idempotent) truncation.
+func (e *Engine) Checkpoint(c *sim.Clock) error {
+	return e.ckpt.Checkpoint(c, checkpoint.Round{
+		Durable: func() wal.LSN {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.durableLSN
+		},
+		Flush: func(c *sim.Clock, h wal.LSN) error {
+			shipped := e.PageStores.GossipRound(c)
+			e.stats.NetMsgs.Add(int64(shipped))
+			if e.PageStores.AdvanceHorizon(c, h) == 0 {
+				return storagenode.ErrNoQuorum
+			}
+			return nil
+		},
+		Truncate: func(c *sim.Clock, h wal.LSN) error {
+			if err := e.LogStores.TruncateBefore(c, h+1); err != nil {
+				return err
+			}
+			e.log.TruncateBefore(h + 1)
+			return nil
+		},
+	})
+}
+
+// RecoveryHorizon implements engine.Checkpointer.
+func (e *Engine) RecoveryHorizon() wal.LSN { return e.ckpt.Horizon() }
 
 // MaxPageLag exposes the page-store staleness metric.
 func (e *Engine) MaxPageLag() wal.LSN { return e.PageStores.MaxLag() }

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 28 {
-		t.Fatalf("registry has %d experiments, want 28 (E1-E20 claims + E21-E28 extensions)", len(all))
+	if len(all) != 29 {
+		t.Fatalf("registry has %d experiments, want 29 (E1-E20 claims + E21-E29 extensions)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

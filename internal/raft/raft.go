@@ -23,6 +23,10 @@ var (
 	ErrNoQuorum  = errors.New("raft: majority unavailable")
 	ErrNotLeader = errors.New("raft: not leader")
 	ErrNoEntry   = errors.New("raft: no such entry")
+	// ErrCompacted is returned by Entry for indices below the compaction
+	// point: the entry was discarded by a checkpoint and readers must
+	// start from checkpointed state instead.
+	ErrCompacted = errors.New("raft: entry compacted away")
 )
 
 // Entry is one replicated log entry.
@@ -35,13 +39,21 @@ type Entry struct {
 type Peer struct {
 	ID int
 
-	mu       sync.Mutex
-	term     uint64
+	mu   sync.Mutex
+	term uint64
+	// log holds entries (snap+1 .. snap+len(log)): snap entries below
+	// were compacted away by a checkpoint (their effects live in
+	// checkpointed state), so log[i] is the entry at index snap+i+1.
 	log      []Entry
+	snap     int // number of compacted entries (all committed)
 	commit   int // highest committed index (1-based; 0 = none)
 	failed   bool
 	netScale float64
 }
+
+// logicalLenLocked is the index of the peer's last entry, counting
+// compacted ones. Callers hold p.mu.
+func (p *Peer) logicalLenLocked() int { return p.snap + len(p.log) }
 
 // Term reports the peer's current term.
 func (p *Peer) Term() uint64 {
@@ -50,11 +62,28 @@ func (p *Peer) Term() uint64 {
 	return p.term
 }
 
-// LogLen reports the number of persisted entries.
+// LogLen reports the index of the last persisted entry (compacted
+// entries count: they were persisted before being checkpointed away).
 func (p *Peer) LogLen() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.logicalLenLocked()
+}
+
+// Retained reports the number of entries still physically held (the
+// replay tail a recovery must read).
+func (p *Peer) Retained() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return len(p.log)
+}
+
+// Compacted reports the compaction point: entries at or below it have
+// been discarded.
+func (p *Peer) Compacted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
 }
 
 // Failed reports crash state.
@@ -165,8 +194,8 @@ func (g *Group) AppendBatch(c *sim.Clock, datas [][]byte) (int, error) {
 		total += len(data)
 	}
 	leader.log = append(leader.log, entries[:persisted]...)
-	index := len(leader.log) - persisted + 1 // first index of the group
-	last := len(leader.log)
+	index := leader.logicalLenLocked() - persisted + 1 // first index of the group
+	last := leader.logicalLenLocked()
 	leader.mu.Unlock()
 
 	if f.Torn {
@@ -196,11 +225,12 @@ func (g *Group) AppendBatch(c *sim.Clock, datas [][]byte) (int, error) {
 			// Place each entry at its exact index. Concurrent appends
 			// may arrive out of order (ParallelRaft acks entries
 			// independently); holes are extended with placeholders
-			// that the straggler overwrites when it arrives.
-			for len(p.log) < last {
+			// that the straggler overwrites when it arrives. Indices are
+			// logical: each peer subtracts its own compaction offset.
+			for p.logicalLenLocked() < last {
 				p.log = append(p.log, Entry{})
 			}
-			copy(p.log[index-1:], entries)
+			copy(p.log[index-1-p.snap:], entries)
 			ack := time.Duration(float64(g.cfg.RDMA.Cost(total))*p.netScale) + g.cfg.SSDWrite.Cost(total)
 			acks = append(acks, ack)
 		} else {
@@ -226,7 +256,7 @@ func (g *Group) AppendBatch(c *sim.Clock, datas [][]byte) (int, error) {
 	leader.mu.Unlock()
 	for _, p := range g.peers {
 		p.mu.Lock()
-		if !p.failed && len(p.log) >= last && last > p.commit {
+		if !p.failed && p.logicalLenLocked() >= last && last > p.commit {
 			p.commit = last
 		}
 		p.mu.Unlock()
@@ -256,9 +286,48 @@ func (g *Group) Entry(c *sim.Clock, index int) (Entry, error) {
 	if index < 1 || index > leader.commit {
 		return Entry{}, ErrNoEntry
 	}
-	e := leader.log[index-1]
+	if index <= leader.snap {
+		return Entry{}, ErrCompacted
+	}
+	e := leader.log[index-1-leader.snap]
 	c.Advance(g.cfg.SSDRead.Cost(len(e.Data)))
 	return e, nil
+}
+
+// CompactTo discards entries at or below index on every alive peer whose
+// commit covers them — the raft leg of a checkpoint truncation. The
+// caller asserts checkpointed state covers the compacted entries. The
+// clock is charged one metadata persist per peer (parallel fan-out, so
+// the slowest peer's cost); fault injection at "raft.compact" can drop
+// the round (no peer compacts) — compaction retries idempotently on the
+// next checkpoint.
+func (g *Group) CompactTo(c *sim.Clock, index int) error {
+	op := g.cfg.Begin(c, "raft.compact")
+	if f := g.cfg.Inject(c, "raft.compact"); f.Drop || f.Torn {
+		op.End(0)
+		return f.FaultErr()
+	}
+	dropped := 0
+	for _, p := range g.peers {
+		p.mu.Lock()
+		to := index
+		if to > p.commit {
+			to = p.commit
+		}
+		if !p.failed && to > p.snap {
+			keep := to - p.snap
+			if keep > len(p.log) {
+				keep = len(p.log)
+			}
+			p.log = append([]Entry(nil), p.log[keep:]...)
+			dropped += keep
+			p.snap += keep
+		}
+		p.mu.Unlock()
+	}
+	g.meter.Charge(c, g.cfg.SSDWrite.Cost(64))
+	op.End(int64(dropped))
+	return nil
 }
 
 // FailPeer crashes a peer (its persisted log survives).
@@ -294,9 +363,11 @@ func (g *Group) Elect(c *sim.Clock) (int, error) {
 		if p.term > maxTerm {
 			maxTerm = p.term
 		}
-		if !p.failed && (best == -1 || len(p.log) > bestLen) {
+		// Up-to-date comparison uses logical length: compacted entries
+		// still count (they are committed by construction).
+		if !p.failed && (best == -1 || p.logicalLenLocked() > bestLen) {
 			best = p.ID
-			bestLen = len(p.log)
+			bestLen = p.logicalLenLocked()
 		}
 		p.mu.Unlock()
 	}
@@ -321,7 +392,10 @@ func (g *Group) Elect(c *sim.Clock) (int, error) {
 }
 
 // CatchUp copies missing entries from the leader to a restarted peer,
-// charging transfer for the delta. Returns entries shipped.
+// charging transfer for the delta. A peer whose log ends below the
+// leader's compaction point cannot be caught up entry-by-entry (the gap
+// is compacted away): it installs the leader's snapshot offset and
+// retained tail wholesale instead. Returns entries shipped.
 func (g *Group) CatchUp(c *sim.Clock, i int) int {
 	g.mu.Lock()
 	leader := g.peers[g.leader]
@@ -329,6 +403,7 @@ func (g *Group) CatchUp(c *sim.Clock, i int) int {
 	p := g.peers[i]
 	leader.mu.Lock()
 	entries := append([]Entry(nil), leader.log...)
+	snap := leader.snap
 	commit := leader.commit
 	leader.mu.Unlock()
 	p.mu.Lock()
@@ -336,15 +411,28 @@ func (g *Group) CatchUp(c *sim.Clock, i int) int {
 	if p.failed {
 		return 0
 	}
-	from := len(p.log)
+	from := p.logicalLenLocked()
 	bytes := 0
-	for _, e := range entries[from:] {
-		p.log = append(p.log, e)
-		bytes += len(e.Data)
+	shipped := 0
+	if from < snap {
+		// Snapshot install: adopt the leader's compaction point and its
+		// whole retained tail (checkpointed state covers the rest).
+		p.snap = snap
+		p.log = append([]Entry(nil), entries...)
+		for _, e := range entries {
+			bytes += len(e.Data)
+		}
+		shipped = len(entries)
+	} else {
+		for _, e := range entries[from-snap:] {
+			p.log = append(p.log, e)
+			bytes += len(e.Data)
+			shipped++
+		}
 	}
 	if commit > p.commit {
 		p.commit = commit
 	}
 	c.Advance(g.cfg.RDMA.Cost(bytes))
-	return len(entries) - from
+	return shipped
 }

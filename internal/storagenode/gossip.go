@@ -97,6 +97,22 @@ func (g *PageStoreGroup) ReadPage(c *sim.Clock, id page.ID, minLSN wal.LSN) ([]b
 	return best.ReadPage(c, id, minLSN)
 }
 
+// AdvanceHorizon publishes a checkpoint horizon to every alive page
+// store (see Replica.AdvanceHorizon). Stores that are down adopt the
+// horizon later through gossip's CatchUpFrom image-adoption path.
+// Returns the number of stores advanced.
+func (g *PageStoreGroup) AdvanceHorizon(c *sim.Clock, h wal.LSN) int {
+	n := 0
+	for _, s := range g.Stores {
+		if s.Failed() {
+			continue
+		}
+		s.AdvanceHorizon(c, h)
+		n++
+	}
+	return n
+}
+
 // MaxLag reports the LSN distance between the freshest and stalest healthy
 // stores — the bounded-staleness metric for experiment E3.
 func (g *PageStoreGroup) MaxLag() wal.LSN {

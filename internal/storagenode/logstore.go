@@ -1,6 +1,7 @@
 package storagenode
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -31,7 +32,11 @@ type LogStore struct {
 	records []wal.Record
 	seen    map[wal.LSN]struct{}
 	highLSN wal.LSN
-	failed  bool
+	// floor is the lowest LSN guaranteed retained (1 until the first
+	// truncation). Reads reaching below it fail with wal.ErrTruncated
+	// instead of silently yielding a partial prefix.
+	floor  wal.LSN
+	failed bool
 }
 
 // hasLSNLocked reports whether the record at lsn is already durable here.
@@ -42,7 +47,7 @@ func (ls *LogStore) hasLSNLocked(lsn wal.LSN) bool {
 
 // NewLogStore creates a log store on the given medium.
 func NewLogStore(cfg *sim.Config, medium Medium) *LogStore {
-	return &LogStore{cfg: cfg, medium: medium, meter: sim.NewMeter(cfg.NICSlots), seen: make(map[wal.LSN]struct{})}
+	return &LogStore{cfg: cfg, medium: medium, meter: sim.NewMeter(cfg.NICSlots), seen: make(map[wal.LSN]struct{}), floor: 1}
 }
 
 // Fail crashes the store (records are durable across Restart).
@@ -120,9 +125,72 @@ func (ls *LogStore) Append(c *sim.Clock, recs []wal.Record) error {
 	return nil
 }
 
+// TruncateBefore durably discards records with LSN < upTo and raises the
+// retention floor — the checkpoint coordinator's truncation RPC: one
+// control round trip plus a metadata persist on the store's medium.
+// Truncation is idempotent and monotonic (a stale horizon is a no-op).
+// Fault injection can drop the RPC (nothing truncated) or tear it (the
+// floor advances only half way; the caller retries on the next round).
+func (ls *LogStore) TruncateBefore(c *sim.Clock, upTo wal.LSN) error {
+	op := ls.cfg.Begin(c, "logstore.truncate")
+	f := ls.cfg.Inject(c, "logstore.truncate")
+	if f.Drop {
+		op.End(0)
+		return f.FaultErr()
+	}
+	target := upTo
+	ls.mu.Lock()
+	if ls.failed {
+		ls.mu.Unlock()
+		op.End(0)
+		return ErrReplicaDown
+	}
+	if f.Torn && target > ls.floor {
+		// Crash-point mid-truncation: only part of the range is reclaimed.
+		target = ls.floor + (target-ls.floor)/2
+	}
+	dropped := 0
+	if target > ls.floor {
+		ls.floor = target
+		keep := ls.records[:0]
+		for _, r := range ls.records {
+			if r.LSN >= target {
+				keep = append(keep, r)
+			} else {
+				delete(ls.seen, r.LSN)
+				dropped++
+			}
+		}
+		ls.records = keep
+	}
+	ls.mu.Unlock()
+	var persist time.Duration
+	switch ls.medium {
+	case MediumPM:
+		persist = ls.cfg.RDMA.Cost(24) + sim.LatencyModel{BytesPerSec: ls.cfg.PMWrite.BytesPerSec}.Cost(24)
+	default:
+		persist = ls.cfg.TCP.Cost(24) + ls.cfg.SSDWrite.Cost(24)
+	}
+	ls.meter.Charge(c, persist)
+	op.End(int64(dropped))
+	if f.Torn {
+		return f.FaultErr()
+	}
+	return nil
+}
+
+// Floor reports the lowest LSN guaranteed retained.
+func (ls *LogStore) Floor() wal.LSN {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.floor
+}
+
 // SincePage returns records for one page with LSN > after. The store
 // maintains per-page log chains (as PilotDB's PM layer does), so only the
-// relevant records cross the network.
+// relevant records cross the network. Requests reaching below the
+// truncation floor fail with wal.ErrTruncated: the gap may have held
+// records for this page, so the chain would be silently incomplete.
 func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal.Record, error) {
 	op := ls.cfg.Begin(c, "logstore.read")
 	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
@@ -134,6 +202,12 @@ func (ls *LogStore) SincePage(c *sim.Clock, pageID uint64, after wal.LSN) ([]wal
 		ls.mu.Unlock()
 		op.End(0)
 		return nil, ErrReplicaDown
+	}
+	if after+1 < ls.floor {
+		floor := ls.floor
+		ls.mu.Unlock()
+		op.End(0)
+		return nil, fmt.Errorf("%w: page %d since %d, floor %d", wal.ErrTruncated, pageID, after, floor)
 	}
 	var out []wal.Record
 	for _, r := range ls.records {
@@ -170,7 +244,10 @@ func (ls *LogStore) Len() int {
 }
 
 // Since returns records with LSN > after (replay on recovery), charging
-// network transfer for the shipped bytes.
+// network transfer for the shipped bytes. Requests reaching below the
+// truncation floor fail with wal.ErrTruncated rather than yielding a
+// silent partial prefix — recovery must start from checkpointed state at
+// or above the floor.
 func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
 	op := ls.cfg.Begin(c, "logstore.read")
 	if f := ls.cfg.Inject(c, "logstore.read"); f.Drop || f.Torn {
@@ -182,6 +259,12 @@ func (ls *LogStore) Since(c *sim.Clock, after wal.LSN) ([]wal.Record, error) {
 		ls.mu.Unlock()
 		op.End(0)
 		return nil, ErrReplicaDown
+	}
+	if after+1 < ls.floor {
+		floor := ls.floor
+		ls.mu.Unlock()
+		op.End(0)
+		return nil, fmt.Errorf("%w: since %d, floor %d", wal.ErrTruncated, after, floor)
 	}
 	var out []wal.Record
 	for _, r := range ls.records {
@@ -246,6 +329,48 @@ func (g *LogStoreGroup) Append(c *sim.Clock, recs []wal.Record) error {
 	g.meter.Charge(c, lats[g.Quorum-1])
 	op.End(int64(encodedSize(recs)))
 	return nil
+}
+
+// TruncateBefore fans the truncation horizon out to every store in
+// parallel (probe clocks; the caller pays the slowest store's RPC, it is
+// background work either way). Truncation needs no quorum — a store that
+// misses the horizon retains extra records and retries next round — but
+// total failure is surfaced so coordinators can count it.
+func (g *LogStoreGroup) TruncateBefore(c *sim.Clock, upTo wal.LSN) error {
+	op := g.cfg.Begin(c, "logstore.truncate.fanout")
+	var slowest time.Duration
+	okCount := 0
+	var lastErr error
+	for _, ls := range g.Stores {
+		probe := sim.NewClock()
+		if err := ls.TruncateBefore(probe, upTo); err != nil {
+			lastErr = err
+			continue
+		}
+		if probe.Now() > slowest {
+			slowest = probe.Now()
+		}
+		okCount++
+	}
+	g.meter.Charge(c, slowest)
+	op.End(int64(okCount))
+	if okCount == 0 && lastErr != nil {
+		return lastErr
+	}
+	return nil
+}
+
+// Floor reports the highest retention floor across the stores: below it
+// no single store is guaranteed to retain records (individual stores may
+// lag the horizon when a truncation RPC was dropped).
+func (g *LogStoreGroup) Floor() wal.LSN {
+	var floor wal.LSN = 1
+	for _, ls := range g.Stores {
+		if f := ls.Floor(); f > floor {
+			floor = f
+		}
+	}
+	return floor
 }
 
 // HighLSN reports the highest LSN durable at a quorum of stores.

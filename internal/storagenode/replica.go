@@ -51,8 +51,13 @@ type Replica struct {
 	prefixLSN wal.LSN
 	// holes holds received LSNs beyond the prefix (bounded by the number
 	// of gaps, drained as the prefix advances).
-	holes  map[wal.LSN]struct{}
-	failed bool
+	holes map[wal.LSN]struct{}
+	// horizon is the recovery horizon this replica has adopted: every
+	// LSN <= horizon is covered by checkpointed page state, the source
+	// log below horizon+1 may be truncated, and re-deliveries at or
+	// below it are dropped rather than re-materialized.
+	horizon wal.LSN
+	failed  bool
 	// appliedRecords counts materialized records (for tests/metrics).
 	appliedRecords int64
 }
@@ -130,6 +135,14 @@ func (r *Replica) ingest(recs []wal.Record) bool {
 	for _, rec := range recs {
 		if rec.LSN <= r.prefixLSN {
 			continue // duplicate delivery
+		}
+		if rec.LSN <= r.horizon {
+			// At or below the adopted recovery horizon: the checkpointed
+			// page images already cover this record. Re-materializing it
+			// (e.g. a gossip round re-delivering pre-checkpoint records)
+			// would stamp a freshly formatted page with a below-horizon
+			// LSN and serve it as if complete.
+			continue
 		}
 		if _, dup := r.holes[rec.LSN]; dup {
 			continue
@@ -231,6 +244,12 @@ func (r *Replica) materializeLocked(c *sim.Clock, id page.ID) []byte {
 	p := page.Wrap(data)
 	var keep []wal.Record
 	for _, rec := range pend {
+		if rec.LSN <= r.horizon {
+			// Covered by the adopted checkpoint: the page image (local or
+			// adopted from a checkpointed peer) already reflects it. Drop
+			// rather than re-apply onto a possibly fresher image.
+			continue
+		}
 		if rec.LSN > r.prefixLSN {
 			// Past a log hole: applying this record would stamp the page
 			// with an LSN that overstates completeness (ReadPage would
@@ -353,10 +372,135 @@ func (r *Replica) PendingRecords() int {
 	return n
 }
 
+// Horizon reports the recovery horizon this replica has adopted.
+func (r *Replica) Horizon() wal.LSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.horizon
+}
+
+// AdvanceHorizon adopts a new recovery horizon: the caller (a checkpoint
+// coordinator) asserts this replica's state covers every LSN <= h —
+// either the records have all been delivered (converged via catch-up) or
+// checkpointed page images were installed via WritePage. The replica
+// materializes what the horizon completes, advances its contiguous
+// prefix to h, and drops bookkeeping at or below it; subsequent
+// re-deliveries at or below h are absorbed rather than re-materialized.
+func (r *Replica) AdvanceHorizon(c *sim.Clock, h wal.LSN) {
+	op := r.cfg.Begin(c, "replica.horizon")
+	r.mu.Lock()
+	if h <= r.horizon {
+		r.mu.Unlock()
+		op.End(0)
+		return
+	}
+	for lsn := range r.holes {
+		if lsn <= h {
+			delete(r.holes, lsn)
+		}
+	}
+	if h > r.prefixLSN {
+		r.prefixLSN = h
+	}
+	for {
+		if _, ok := r.holes[r.prefixLSN+1]; !ok {
+			break
+		}
+		delete(r.holes, r.prefixLSN+1)
+		r.prefixLSN++
+	}
+	// Materialize everything the new prefix completes BEFORE adopting the
+	// horizon: pending records at or below h must reach their pages now —
+	// after adoption they would be treated as covered and dropped.
+	ids := make([]page.ID, 0, len(r.pending))
+	for id := range r.pending {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		r.materializeLocked(c, id)
+	}
+	r.horizon = h
+	if h > r.highLSN {
+		r.highLSN = h
+	}
+	r.mu.Unlock()
+	op.End(int64(h))
+}
+
+// adoptCheckpoint copies the peer's checkpointed page images needed to
+// cover horizon h onto this replica (the truncated range below h cannot
+// be replayed from any log). The peer must itself cover h. Returns pages
+// copied.
+func (r *Replica) adoptCheckpoint(c *sim.Clock, peer *Replica, h wal.LSN) (int, error) {
+	peer.mu.Lock()
+	if peer.failed {
+		peer.mu.Unlock()
+		return 0, ErrReplicaDown
+	}
+	if peer.prefixLSN < h && peer.horizon < h {
+		peer.mu.Unlock()
+		return 0, ErrStaleReplica
+	}
+	images := make(map[page.ID][]byte)
+	ids := make([]page.ID, 0, len(peer.pages)+len(peer.pending))
+	for id := range peer.pages {
+		ids = append(ids, id)
+	}
+	for id := range peer.pending {
+		if _, ok := peer.pages[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		data := peer.materializeLocked(nil, id)
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		images[id] = cp
+	}
+	peer.mu.Unlock()
+
+	r.mu.Lock()
+	bytes, copied := 0, 0
+	for id, img := range images {
+		lsn := wal.LSN(page.Wrap(img).LSN())
+		if cur, ok := r.pages[id]; ok && wal.LSN(page.Wrap(cur).LSN()) >= lsn {
+			continue
+		}
+		r.pages[id] = img
+		if lsn > r.highLSN {
+			r.highLSN = lsn
+		}
+		// The image supersedes pending records at or below its LSN.
+		var keep []wal.Record
+		for _, rec := range r.pending[id] {
+			if rec.LSN > lsn {
+				keep = append(keep, rec)
+			}
+		}
+		if len(keep) > 0 {
+			r.pending[id] = keep
+		} else {
+			delete(r.pending, id)
+		}
+		bytes += len(img)
+		copied++
+	}
+	r.mu.Unlock()
+	c.Advance(sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(bytes))
+	r.AdvanceHorizon(c, h)
+	return copied, nil
+}
+
 // CatchUpFrom copies missing state from a healthy peer (recovery after a
 // crash or a gossip round). It transfers only records the peer has beyond
 // this replica's highLSN, charging network transfer for the delta, and
-// returns the number of records transferred.
+// returns the number of records transferred. When the source log has
+// been truncated past this replica's prefix, the gap cannot be replayed:
+// the replica first adopts the peer's checkpointed page images covering
+// the recovery horizon, then tail-replays above it — without this, a
+// post-truncation catch-up would silently skip the gap and re-materialize
+// below-horizon records onto pages whose checkpointed images live
+// elsewhere.
 func (r *Replica) CatchUpFrom(c *sim.Clock, peer *Replica, log *wal.Log) (int, error) {
 	r.mu.Lock()
 	if r.failed {
@@ -365,12 +509,21 @@ func (r *Replica) CatchUpFrom(c *sim.Clock, peer *Replica, log *wal.Log) (int, e
 	}
 	from := r.prefixLSN
 	r.mu.Unlock()
+	adopted := 0
+	if floor := log.Floor(); from+1 < floor {
+		n, err := r.adoptCheckpoint(c, peer, floor-1)
+		if err != nil {
+			return 0, err
+		}
+		adopted = n
+		from = floor - 1
+	}
 
 	peer.mu.Lock()
 	peerFailed := peer.failed
 	peer.mu.Unlock()
 	if peerFailed {
-		return 0, ErrReplicaDown
+		return adopted, ErrReplicaDown
 	}
 	// Ship exactly the records the peer holds and the receiver lacks
 	// (the receiver may have holes above its prefix).
@@ -391,18 +544,22 @@ func (r *Replica) CatchUpFrom(c *sim.Clock, peer *Replica, log *wal.Log) (int, e
 		}
 	}
 	if len(ship) == 0 {
-		return 0, nil
+		return adopted, nil
 	}
 	n := encodedSize(ship)
 	c.Advance(sim.LatencyModel{Base: r.cfg.TCP.Base, BytesPerSec: r.cfg.TCP.BytesPerSec}.Cost(n))
 	r.ingest(ship)
-	return len(ship), nil
+	return adopted + len(ship), nil
 }
 
 // CatchUpFromLog ships every record the replica lacks straight from the
 // authoritative log (heal path: injected drops and torn deliveries can
 // leave LSN holes no peer holds either, which would stall the prefix
-// forever). Returns the number of records shipped.
+// forever). Returns the number of records shipped. When the log has been
+// truncated past this replica's prefix the gap is unrecoverable from the
+// log: the replica ships nothing (rather than silently skipping the gap
+// and later serving partially materialized pages) and must instead adopt
+// checkpointed page images via CatchUpFrom/WritePage.
 func (r *Replica) CatchUpFromLog(c *sim.Clock, log *wal.Log) int {
 	r.mu.Lock()
 	if r.failed {
@@ -411,6 +568,9 @@ func (r *Replica) CatchUpFromLog(c *sim.Clock, log *wal.Log) int {
 	}
 	from := r.prefixLSN
 	r.mu.Unlock()
+	if floor := log.Floor(); from+1 < floor {
+		return 0
+	}
 
 	var ship []wal.Record
 	for _, rec := range log.Since(from) {

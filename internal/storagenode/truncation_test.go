@@ -1,0 +1,155 @@
+package storagenode
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/disagglab/disagg/internal/page"
+	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/wal"
+)
+
+// Regression: after a replica adopts a recovery horizon, gossip or repair
+// re-delivering records at or below the horizon must be absorbed, not
+// re-materialized — re-applying them would stamp a below-horizon LSN onto
+// a page whose checkpointed image is already fresher, and a subsequent
+// ReadPage would serve the stale value as if complete.
+func TestReplicaBelowHorizonRedeliveryNotRematerialized(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	a := NewReplica(cfg, "a", 0, layout, 1)
+	b := NewReplica(cfg, "b", 1, layout, 1)
+	c := sim.NewClock()
+
+	var recs []wal.Record
+	for _, v := range []string{"v1", "v2", "v3"} {
+		rec := updateRec(0, 5, layout, v)
+		rec.LSN = log.Append(rec)
+		recs = append(recs, rec)
+	}
+	a.ingest(recs)
+	a.AdvanceHorizon(c, 3)
+	log.TruncateBefore(4)
+
+	// b starts empty; the log below the horizon is gone, so catch-up must
+	// go through checkpoint adoption.
+	if n, err := b.CatchUpFrom(c, a, log); err != nil || n == 0 {
+		t.Fatalf("catch-up after truncation: n=%d err=%v", n, err)
+	}
+	if b.Horizon() != 3 {
+		t.Fatalf("adopted horizon = %d", b.Horizon())
+	}
+
+	// Gossip re-delivers the pre-checkpoint records. They are covered by
+	// the adopted images and must not re-materialize.
+	applied := b.AppliedRecords()
+	if err := b.Ingest(c, recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PendingRecords(); got != 0 {
+		t.Fatalf("below-horizon re-delivery buffered %d records", got)
+	}
+	if got := b.AppliedRecords(); got != applied {
+		t.Fatalf("below-horizon re-delivery re-materialized records: applied %d -> %d", applied, got)
+	}
+	data, err := b.ReadPage(c, layout.PageOf(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := layout.ReadValue(data, 5); !bytes.HasPrefix(v, []byte("v3")) {
+		t.Fatalf("value after re-delivery = %q (checkpointed image overwritten)", v[:4])
+	}
+	if lsn := page.Wrap(data).LSN(); wal.LSN(lsn) < 3 {
+		t.Fatalf("page LSN regressed to %d after re-delivery", lsn)
+	}
+}
+
+// Regression: when the source log has been truncated past a replica's
+// prefix, the log-only heal path must ship nothing — silently replaying
+// just the surviving tail would leave the gap unapplied while the prefix
+// bookkeeping claims completeness.
+func TestReplicaCatchUpFromLogRefusesTruncatedGap(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	b := NewReplica(cfg, "b", 0, layout, 1)
+	c := sim.NewClock()
+
+	for i, v := range []string{"v1", "v2", "v3", "v4"} {
+		rec := updateRec(0, uint64(i), layout, v)
+		rec.LSN = log.Append(rec)
+	}
+	log.TruncateBefore(3)
+
+	if n := b.CatchUpFromLog(c, log); n != 0 {
+		t.Fatalf("log-only catch-up shipped %d records across a truncated gap", n)
+	}
+	if b.PrefixLSN() != 0 || b.HighLSN() != 0 {
+		t.Fatalf("refused catch-up still advanced state: prefix=%d high=%d", b.PrefixLSN(), b.HighLSN())
+	}
+}
+
+// After adopting checkpointed images for the truncated range, a replica
+// must still tail-replay the surviving records above the horizon from its
+// peer — the two sources stitch together into the complete state.
+func TestReplicaAdoptionThenTailReplay(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	log := wal.NewLog()
+	a := NewReplica(cfg, "a", 0, layout, 1)
+	b := NewReplica(cfg, "b", 1, layout, 1)
+	c := sim.NewClock()
+
+	var recs []wal.Record
+	for _, v := range []string{"v1", "v2", "v3"} {
+		rec := updateRec(0, 5, layout, v)
+		rec.LSN = log.Append(rec)
+		recs = append(recs, rec)
+	}
+	a.ingest(recs)
+	a.AdvanceHorizon(c, 3)
+	log.TruncateBefore(4)
+
+	// The tail keeps growing after the checkpoint.
+	tail := updateRec(0, 5, layout, "v4")
+	tail.LSN = log.Append(tail)
+	a.ingest([]wal.Record{tail})
+
+	if n, err := b.CatchUpFrom(c, a, log); err != nil || n == 0 {
+		t.Fatalf("catch-up: n=%d err=%v", n, err)
+	}
+	data, err := b.ReadPage(c, layout.PageOf(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := layout.ReadValue(data, 5); !bytes.HasPrefix(v, []byte("v4")) {
+		t.Fatalf("value = %q (tail above the adopted horizon not replayed)", v[:4])
+	}
+}
+
+// AdvanceHorizon must materialize what the horizon completes BEFORE
+// adopting it: pending records at or below the horizon would otherwise be
+// treated as covered and silently dropped.
+func TestAdvanceHorizonMaterializesPendingFirst(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	layout := testLayout(t)
+	r := NewReplica(cfg, "r0", 0, layout, 1)
+	c := sim.NewClock()
+
+	r.ingest([]wal.Record{updateRec(1, 7, layout, "kept")})
+	if r.PendingRecords() != 1 {
+		t.Fatalf("pending = %d", r.PendingRecords())
+	}
+	r.AdvanceHorizon(c, 1)
+	if r.PendingRecords() != 0 {
+		t.Fatal("horizon adoption left records pending")
+	}
+	data, err := r.ReadPage(c, layout.PageOf(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := layout.ReadValue(data, 7); !bytes.HasPrefix(v, []byte("kept")) {
+		t.Fatalf("value = %q (pending record dropped by horizon adoption)", v[:4])
+	}
+}

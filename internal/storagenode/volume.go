@@ -201,6 +201,23 @@ func (v *Volume) Heal(c *sim.Clock, log *wal.Log) int {
 	return total
 }
 
+// AdvanceHorizon publishes a checkpoint horizon to every alive replica:
+// each one materializes its pending records at or below h and stops
+// accepting re-deliveries of that prefix (see Replica.AdvanceHorizon).
+// Failed replicas learn the horizon later through RepairReplica's
+// checkpoint-image adoption. Returns the number of replicas advanced.
+func (v *Volume) AdvanceHorizon(c *sim.Clock, h wal.LSN) int {
+	n := 0
+	for _, r := range v.Replicas {
+		if r.Failed() {
+			continue
+		}
+		r.AdvanceHorizon(c, h)
+		n++
+	}
+	return n
+}
+
 // RepairReplica restores a crashed replica and catches it up from the
 // nearest healthy peer, returning the number of records shipped.
 func (v *Volume) RepairReplica(c *sim.Clock, i int, log *wal.Log) (int, error) {

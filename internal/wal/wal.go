@@ -153,6 +153,13 @@ func DecodeAll(p []byte) ([]Record, error) {
 	return out, nil
 }
 
+// ErrTruncated is returned by Replay when the requested range reaches
+// below the truncation floor: records there were discarded by a
+// checkpoint, so a replay from that point would silently miss updates.
+// Callers must restart from a checkpointed page image at or above the
+// floor instead.
+var ErrTruncated = errors.New("wal: requested range below truncation floor")
+
 // Log is a thread-safe, append-only in-memory log. Durability of appended
 // records is the engine's concern (engines ship encoded records to log
 // tiers / storage nodes and only then acknowledge commits).
@@ -160,10 +167,13 @@ type Log struct {
 	mu      sync.Mutex
 	records []Record
 	next    LSN
+	// floor is the lowest LSN guaranteed retained: TruncateBefore(upTo)
+	// raises it to upTo. Records below the floor are gone for good.
+	floor LSN
 }
 
 // NewLog returns an empty log whose first LSN is 1.
-func NewLog() *Log { return &Log{next: 1} }
+func NewLog() *Log { return &Log{next: 1, floor: 1} }
 
 // Append assigns the next LSN to r and stores it, returning the LSN.
 func (l *Log) Append(r Record) LSN {
@@ -190,6 +200,8 @@ func (l *Log) Len() int {
 }
 
 // Since returns a copy of all records with LSN > after, in LSN order.
+// Since does not check the truncation floor; recovery paths must use
+// Replay, which fails loudly instead of yielding a silent partial prefix.
 func (l *Log) Since(after LSN) []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -202,10 +214,43 @@ func (l *Log) Since(after LSN) []Record {
 	return out
 }
 
-// TruncateBefore discards records with LSN < upTo (checkpointing).
+// Replay returns all records with LSN > after, failing with ErrTruncated
+// when any LSN in (after, floor) has been discarded by a checkpoint — a
+// replay from below the truncation floor would otherwise silently miss
+// updates and reconstruct a stale prefix as if it were complete.
+func (l *Log) Replay(after LSN) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after+1 < l.floor {
+		return nil, fmt.Errorf("%w: replay from %d, floor %d", ErrTruncated, after, l.floor)
+	}
+	var out []Record
+	for _, r := range l.records {
+		if r.LSN > after {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Floor reports the lowest LSN guaranteed retained (1 when nothing has
+// been truncated). Every LSN below the floor has been discarded.
+func (l *Log) Floor() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.floor
+}
+
+// TruncateBefore discards records with LSN < upTo (checkpointing) and
+// raises the truncation floor to upTo. The floor is monotonic: truncating
+// below the current floor is a no-op.
 func (l *Log) TruncateBefore(upTo LSN) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if upTo <= l.floor {
+		return
+	}
+	l.floor = upTo
 	keep := l.records[:0]
 	for _, r := range l.records {
 		if r.LSN >= upTo {

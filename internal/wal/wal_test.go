@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -192,5 +193,56 @@ func TestTypeString(t *testing.T) {
 	}
 	if Type(99).String() == "" {
 		t.Fatal("unknown type should still render")
+	}
+}
+
+// TestReplayBelowFloorErrTruncated is the replay-below-horizon
+// regression: replaying from an LSN older than the truncation point must
+// fail with ErrTruncated, not silently yield the retained partial prefix
+// as if it were the complete history.
+func TestReplayBelowFloorErrTruncated(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Type: TypeUpdate, Key: uint64(i)})
+	}
+	l.TruncateBefore(6) // records 1..5 are gone
+
+	if _, err := l.Replay(0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Replay(0) below the floor: err = %v, want ErrTruncated", err)
+	}
+	if _, err := l.Replay(4); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Replay(4) below the floor: err = %v, want ErrTruncated", err)
+	}
+	// Exactly at the floor boundary: records 6.. are all retained.
+	rs, err := l.Replay(5)
+	if err != nil {
+		t.Fatalf("Replay(5) at the floor: %v", err)
+	}
+	if len(rs) != 5 || rs[0].LSN != 6 {
+		t.Fatalf("Replay(5) = %d records, first %v", len(rs), rs[0].LSN)
+	}
+	if got := l.Floor(); got != 6 {
+		t.Fatalf("Floor() = %d, want 6", got)
+	}
+	// The floor is monotonic: a stale (lower) truncation is a no-op.
+	l.TruncateBefore(3)
+	if got := l.Floor(); got != 6 {
+		t.Fatalf("Floor() after stale truncate = %d, want 6", got)
+	}
+}
+
+// TestReplayFreshLogFromZero: an untruncated log replays its full
+// history from zero without error.
+func TestReplayFreshLogFromZero(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 4; i++ {
+		l.Append(Record{Type: TypeUpdate, Key: uint64(i)})
+	}
+	rs, err := l.Replay(0)
+	if err != nil {
+		t.Fatalf("Replay(0) on fresh log: %v", err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("Replay(0) = %d records, want 4", len(rs))
 	}
 }
