@@ -29,6 +29,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -134,6 +135,10 @@ func (co *Coordinator) Checkpoint(c *sim.Clock, r Round) error {
 	op.End(int64(target - co.Horizon()))
 	co.publish(target)
 	co.Rounds.Add(1)
+	if c.Events() != nil {
+		c.Emit(sim.Event{T: c.Now(), Kind: sim.EvCheckpoint, Site: co.site,
+			Note: fmt.Sprintf("horizon=%d", target)})
+	}
 	top := co.cfg.Begin(c, co.site+".truncate")
 	err := r.Truncate(c, target)
 	top.End(int64(target))

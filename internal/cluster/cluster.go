@@ -35,6 +35,7 @@ import (
 
 	"github.com/disagglab/disagg/internal/engine"
 	"github.com/disagglab/disagg/internal/sim"
+	"github.com/disagglab/disagg/internal/sim/profile"
 )
 
 // Cluster errors.
@@ -139,6 +140,11 @@ type Fleet struct {
 	// partitioned is the single engine of a Rescale fleet.
 	partitioned *Member
 	parts       int
+	// slo, when set, scores every dispatched transaction against the
+	// fleet's latency objective; the controller surfaces its burn rate
+	// each tick so scaling decisions can be audited against SLO burn.
+	// Atomic so SetSLO needs no ordering against in-flight dispatches.
+	slo atomic.Pointer[profile.SLOTracker]
 }
 
 // New builds a fleet with n initial members (n < 1 is treated as 1),
@@ -223,6 +229,14 @@ func (f *Fleet) Meters() []*sim.Meter {
 	defer f.mu.RUnlock()
 	return append([]*sim.Meter(nil), f.meters...)
 }
+
+// SetSLO attaches a latency objective to the fleet: every dispatched
+// transaction is scored against it, and Controller.Tick reports the
+// window's burn rate alongside the scaling decision.
+func (f *Fleet) SetSLO(s profile.SLO) { f.slo.Store(profile.NewSLOTracker(s)) }
+
+// SLO returns the fleet's tracker (nil when no objective is attached).
+func (f *Fleet) SLO() *profile.SLOTracker { return f.slo.Load() }
 
 // ShardOwner reports the member id owning key (routing introspection).
 func (f *Fleet) ShardOwner(key uint64) int {
@@ -317,6 +331,9 @@ func (f *Fleet) dispatch(c *sim.Clock, key uint64, opts *RunOpts, fn func(tx eng
 	err := engine.Run(m.E, c, opts.RunOpts, fn)
 	if f.spec.ComputeCost <= 0 {
 		m.Meter.Observe(c, c.Now()-start)
+	}
+	if t := f.slo.Load(); t != nil {
+		t.Observe(c.Now(), c.Now()-start, err == nil)
 	}
 	m.inflight.Add(-1)
 	f.mu.RUnlock()

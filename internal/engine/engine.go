@@ -14,6 +14,7 @@ import (
 	"github.com/disagglab/disagg/internal/engine/history"
 	"github.com/disagglab/disagg/internal/sim"
 	"github.com/disagglab/disagg/internal/sim/admission"
+	"github.com/disagglab/disagg/internal/sim/profile"
 	"github.com/disagglab/disagg/internal/wal"
 )
 
@@ -285,6 +286,12 @@ type RunOpts struct {
 	// history (program order within a session is meaningful to the
 	// checker). Ignored unless Record is set.
 	Session int
+	// Profile, when non-nil, profiles every Run call end to end: the
+	// transaction executes under a fresh span tree whose analysis
+	// (critical-path component attribution, tail-exemplar retention, SLO
+	// observation) is folded into the profiler at completion. A nil
+	// Profile costs one branch — the disabled path stays zero-alloc.
+	Profile *profile.Profiler
 }
 
 // defaultBackoff is the policy Run applies when Retries > 0 and
@@ -301,6 +308,18 @@ var defaultBackoff = admission.Default()
 // (here, for admission refusals) to the engine's Stats, and Attempts
 // counts them all.
 func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
+	if opts.Profile == nil {
+		return run(e, c, opts, fn)
+	}
+	ptx := opts.Profile.Begin(c)
+	err := run(e, c, opts, fn)
+	ptx.End(err)
+	return err
+}
+
+// run is Run's body; the wrapper brackets it with the profiler so every
+// return path lands in exactly one profiled transaction.
+func run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	st := e.Stats()
 	var op *history.Op
 	if opts.Record != nil {
@@ -309,6 +328,7 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 	shed := func() {
 		st.Attempts.Add(1)
 		st.Shed.Add(1)
+		c.Emit(sim.Event{T: c.Now(), Kind: sim.EvShed, Site: "txn"})
 		if op != nil {
 			op.NewAttempt(c.Now()).Finish(history.Shed, c.Now(), 0, ErrShed)
 		}
@@ -359,7 +379,13 @@ func Run(e Engine, c *sim.Clock, opts RunOpts, fn func(tx Tx) error) error {
 			return err
 		}
 		st.Retries.Add(1)
-		if d := bo.Wait(c, attempt); d > 0 {
+		c.Emit(sim.Event{T: c.Now(), Kind: sim.EvRetry, Site: "txn", Note: "conflict"})
+		// Bracket the wait so the profiler attributes it to the
+		// "backoff" component rather than residual time.
+		sp := c.StartSpan("backoff")
+		d := bo.Wait(c, attempt)
+		c.FinishSpan(sp, 0)
+		if d > 0 {
 			st.Backoffs.Add(1)
 			st.BackoffWait.Add(int64(d))
 		}

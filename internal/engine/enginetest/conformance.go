@@ -14,6 +14,7 @@ import (
 	"github.com/disagglab/disagg/internal/heap"
 	"github.com/disagglab/disagg/internal/sim"
 	"github.com/disagglab/disagg/internal/sim/fault"
+	"github.com/disagglab/disagg/internal/sim/profile"
 	"github.com/disagglab/disagg/internal/wal"
 )
 
@@ -44,6 +45,11 @@ const (
 	confKeyBase   = 10_000
 	confRetries   = 25
 	confWriteFrac = 70 // percent of ops that are writes
+
+	// confFlightEvents bounds each worker's always-on flight recorder:
+	// the last N substrate events (ops, fault decisions, retries, sheds,
+	// checkpoint rounds) are retained and dumped on invariant failure.
+	confFlightEvents = 256
 )
 
 // mix64 is a splitmix64-style finalizer used for value checksums.
@@ -105,6 +111,12 @@ type conformanceResult struct {
 	layout heap.Layout
 	keys   map[uint64]*keyState
 
+	// box aggregates the workers' flight recorders; on an invariant
+	// failure the suite dumps every retained timeline. rounds counts
+	// workload extensions (recorder labels stay distinguishable).
+	box    *profile.Blackbox
+	rounds int
+
 	mu         sync.Mutex
 	violations []string
 	writeErrs  int
@@ -158,7 +170,7 @@ func checkValue(res *conformanceResult, key uint64, st *keyState, v []byte, wher
 // own key range. Transient errors are tolerated and counted; the per-key
 // history records which writes were acknowledged.
 func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *conformanceResult {
-	res := &conformanceResult{layout: layout, keys: make(map[uint64]*keyState)}
+	res := &conformanceResult{layout: layout, keys: make(map[uint64]*keyState), box: profile.NewBlackbox()}
 	for id := 0; id < confWorkers; id++ {
 		lo, hi := workerKeys(id)
 		for k := lo; k < hi; k++ {
@@ -177,7 +189,10 @@ func runConformanceWorkload(e engine.Engine, layout heap.Layout, seed int64) *co
 // tail, and everything in between.
 func extendConformanceWorkload(e engine.Engine, res *conformanceResult, seed int64) {
 	layout := res.layout
+	res.rounds++
+	round := res.rounds
 	sim.RunGroup(confWorkers, func(id int, c *sim.Clock) int {
+		c.SetEvents(res.box.Recorder(fmt.Sprintf("round %d worker %d", round, id), confFlightEvents))
 		rng := sim.NewRand(seed, id)
 		lo, _ := workerKeys(id)
 		done := 0
@@ -234,6 +249,9 @@ func extendConformanceWorkload(e engine.Engine, res *conformanceResult, seed int
 // also appends any violations recorded during the workload itself.
 func verifyFinalState(e engine.Engine, res *conformanceResult) []string {
 	c := sim.NewClock()
+	if res.box != nil {
+		c.SetEvents(res.box.Recorder(fmt.Sprintf("verify pass %d", res.box.Size()), confFlightEvents))
+	}
 	for key, st := range res.keys {
 		var got []byte
 		var err error
@@ -334,6 +352,10 @@ func RunConformance(t *testing.T, factory Factory) {
 		if len(diffs) > 0 {
 			t.Errorf("engine diverged from monolithic baseline on seed %d", seed)
 		}
+	})
+
+	t.Run("SiteLint", func(t *testing.T) {
+		runSiteLint(t, factory, seed)
 	})
 
 	for _, p := range fault.Profiles() {
@@ -481,6 +503,7 @@ func runFaultProfile(t *testing.T, factory Factory, p fault.Profile, seed int64,
 	checkConservation(t, e, label, seed)
 	if t.Failed() {
 		t.Logf("per-site telemetry under profile %q:\n%s", label, cfg.Stats.String())
+		t.Logf("flight-recorder timelines under profile %q:\n%s", label, res.box.Dump())
 	}
 }
 

@@ -100,8 +100,11 @@ func runRecoveryDrill(t *testing.T, factory Factory, p *fault.Profile, seed int6
 		t.Errorf("recovery horizon moved backwards across crash: %d -> %d", h2, after)
 	}
 	checkConservation(t, e, label, seed)
-	if t.Failed() && cfg.Stats != nil {
-		t.Logf("per-site telemetry under %q:\n%s", label, cfg.Stats.String())
+	if t.Failed() {
+		if cfg.Stats != nil {
+			t.Logf("per-site telemetry under %q:\n%s", label, cfg.Stats.String())
+		}
+		t.Logf("flight-recorder timelines under %q:\n%s", label, res.box.Dump())
 	}
 }
 
@@ -235,5 +238,6 @@ func runTornTruncation(t *testing.T, factory Factory, seed int64) {
 	checkConservation(t, e, "recovery/torn-truncation", seed)
 	if t.Failed() {
 		t.Logf("per-site telemetry:\n%s", cfg.Stats.String())
+		t.Logf("flight-recorder timelines:\n%s", res.box.Dump())
 	}
 }

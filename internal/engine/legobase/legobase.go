@@ -112,7 +112,9 @@ func (e *Engine) fetchFromStorage(c *sim.Clock, id page.ID) ([]byte, error) {
 		out = e.layout.FormatPage(id).Bytes()
 	}
 	// Storage is network-attached (TCP) + SSD.
+	op := e.cfg.Begin(c, "tcp.rpc")
 	c.Advance(e.cfg.TCP.Cost(len(out)))
+	op.End(int64(len(out)))
 	e.ssd.Read(c, len(out))
 	e.stats.StorageOps.Add(1)
 	e.stats.NetBytes.Add(int64(len(out)))
@@ -190,7 +192,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 	lastLSN = commit.LSN
 	logBytes += commit.EncodedSize()
 	// Durable log: network round trip + SSD append.
+	op := e.cfg.Begin(c, "tcp.rpc")
 	c.Advance(e.cfg.TCP.Cost(logBytes))
+	op.End(int64(logBytes))
 	e.ssd.Write(c, logBytes)
 	// Durable from here on: a failed tier apply below surfaces an error,
 	// but the stamped commit record already survives a crash.
@@ -334,7 +338,9 @@ func (e *Engine) CheckpointStorage(c *sim.Clock) error {
 			}
 			e.mu.Unlock()
 			for range dirty {
+				op := e.cfg.Begin(c, "tcp.rpc")
 				c.Advance(e.cfg.TCP.Cost(e.layout.PageSize))
+				op.End(int64(e.layout.PageSize))
 				e.ssd.Write(c, e.layout.PageSize)
 				e.stats.PageBytes.Add(int64(e.layout.PageSize))
 			}
@@ -426,7 +432,9 @@ func (e *Engine) RecoverFromStorageOnly(c *sim.Clock) (time.Duration, error) {
 	for i := range recs {
 		logBytes += recs[i].EncodedSize()
 	}
+	op := e.cfg.Begin(c, "tcp.rpc")
 	c.Advance(e.cfg.TCP.Cost(logBytes))
+	op.End(int64(logBytes))
 	e.ssd.Read(c, logBytes)
 	touched := map[page.ID]bool{}
 	for _, r := range recs {

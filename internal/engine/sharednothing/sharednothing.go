@@ -109,7 +109,9 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		i, p := e.partOf(key)
 		if touch(key) != coord || i != coord {
 			// Remote read: one network round trip.
+			op := e.cfg.Begin(c, "tcp.rpc")
 			c.Advance(e.cfg.TCP.Cost(e.layout.ValSize + 16))
+			op.End(int64(e.layout.ValSize + 16))
 			e.stats.NetBytes.Add(int64(e.layout.ValSize + 16))
 			e.stats.NetMsgs.Add(1)
 		}
@@ -173,6 +175,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		// Prepare: one parallel round trip to all remote participants,
 		// each force-logging a prepare record.
 		maxPrep := time.Duration(0)
+		var prepNet int64
 		for i, ks := range byPart {
 			probe := sim.NewClock()
 			logBytes := 0
@@ -181,6 +184,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			}
 			if i != coord {
 				probe.Advance(e.cfg.TCP.Cost(logBytes))
+				prepNet += int64(logBytes)
 				e.stats.NetBytes.Add(int64(logBytes))
 				e.stats.NetMsgs.Add(1)
 			}
@@ -189,10 +193,16 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 				maxPrep = probe.Now()
 			}
 		}
+		// The joined parallel round (messaging + each participant's
+		// prepare force) rides the fan-out span: per-leg device time is
+		// hidden by the join, so the protocol owns the latency.
+		op := e.cfg.Begin(c, "tcp.prepare")
 		c.Advance(maxPrep)
+		op.End(prepNet)
 	}
 	// Commit records + apply, parallel across participants.
 	maxCommit := time.Duration(0)
+	var commitNet int64
 	for i, ks := range byPart {
 		probe := sim.NewClock()
 		p := e.parts[i]
@@ -209,6 +219,7 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 		logBytes += cm.EncodedSize()
 		if i != coord {
 			probe.Advance(e.cfg.TCP.Cost(logBytes))
+			commitNet += int64(logBytes)
 			e.stats.NetBytes.Add(int64(logBytes))
 			e.stats.NetMsgs.Add(1)
 		}
@@ -225,7 +236,11 @@ func (e *Engine) Execute(c *sim.Clock, fn func(tx engine.Tx) error) error {
 			maxCommit = probe.Now()
 		}
 	}
+	// As with prepare: the joined commit round (messaging + per-node log
+	// force) is the protocol's latency.
+	cop := e.cfg.Begin(c, "tcp.commit")
 	c.Advance(maxCommit)
+	cop.End(commitNet)
 	st.StampCommit(e.commitSeq.Add(1))
 	e.stats.Commits.Add(1)
 	return nil
@@ -309,7 +324,9 @@ func (e *Engine) Rebalance(c *sim.Clock, n int) (moved int64) {
 		p.mu.Unlock()
 	}
 	// Data movement: streamed over the network and rewritten to SSD.
+	op := e.cfg.Begin(c, "tcp.rebalance")
 	c.Advance(e.cfg.TCP.Cost(int(moved)))
+	op.End(moved)
 	parts[0].ssd.Write(c, int(moved))
 	e.MovedBytes.Add(moved)
 	e.stats.NetBytes.Add(moved)

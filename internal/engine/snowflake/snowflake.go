@@ -107,7 +107,9 @@ func (s *Service) AddWarehouse(c *sim.Clock, cacheBlocks int) *Warehouse {
 	s.nextWH++
 	s.mu.Unlock()
 	// Control-plane provisioning round trip.
+	op := s.cfg.Begin(c, "tcp.rpc")
 	c.Advance(s.cfg.TCP.Cost(256))
+	op.End(256)
 	return &Warehouse{svc: s, Name: fmt.Sprintf("wh-%d", id), cacheBlocks: cacheBlocks, caches: make(map[string]*query.CachedSource)}
 }
 
@@ -153,7 +155,9 @@ func (w *Warehouse) RunCached(c *sim.Clock, signature string, build func(src fun
 	}
 	svc.mu.Unlock()
 	// Metadata/service round trip either way.
+	op := svc.cfg.Begin(c, "tcp.rpc")
 	c.Advance(svc.cfg.TCP.Cost(128))
+	op.End(128)
 	if ok {
 		return cached, nil
 	}

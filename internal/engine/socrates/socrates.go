@@ -373,7 +373,9 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.durableLSN = e.XLOG.HighLSN()
 	e.mu.Unlock()
 	// One metadata round trip to XLOG.
+	op := e.cfg.Begin(c, "tcp.rpc")
 	c.Advance(e.cfg.TCP.Cost(64))
+	op.End(64)
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }

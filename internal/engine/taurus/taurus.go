@@ -314,7 +314,9 @@ func (e *Engine) Recover(c *sim.Clock) (time.Duration, error) {
 	e.mu.Lock()
 	e.durableLSN = e.LogStores.HighLSN()
 	e.mu.Unlock()
+	op := e.cfg.Begin(c, "tcp.rpc")
 	c.Advance(e.cfg.TCP.Cost(64))
+	op.End(64)
 	e.crashed.Store(false)
 	return c.Now() - start, nil
 }

@@ -225,6 +225,11 @@ func runE2(cfg *sim.Config, s Scale) *Result {
 	r.check("failed replica repairs from peers", err == nil && n > 0 &&
 		e2.Volume.Replicas[5].PrefixLSN() == e2.DurableLSN(),
 		"shipped %d records in %v", n, rc.Now())
+	r.traceOp(cfg, "txn.write-quorum", func(c *sim.Clock) {
+		engine.Run(e2, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(99, make([]byte, layout.ValSize))
+		})
+	})
 	return r
 }
 
@@ -280,6 +285,11 @@ func runE3(cfg *sim.Config, s Scale) *Result {
 	r.check("socrates commit independent of page-server count",
 		sum6.P50 < sum2.P50*3/2,
 		"p50 with 2 page servers %v vs 6 page servers %v", sum2.P50, sum6.P50)
+	r.traceOp(cfg, "txn.write-taurus", func(c *sim.Clock) {
+		engine.Run(ta, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, layout.ValSize))
+		})
+	})
 	return r
 }
 
@@ -331,6 +341,17 @@ func runE4(cfg *sim.Config, s Scale) *Result {
 	r.check("shared-nothing moves data", moved > 0, "moved %s", metrics.FormatBytes(moved))
 	r.check("shared-storage provisioning ≪ rebalancing", whTime < snTime/5,
 		"%v vs %v", whTime, snTime)
+	r.traceOp(cfg, "olap.q6-warehouse", func(c *sim.Clock) {
+		if _, err := whs[0].Run(c, func(src func(string) (query.Source, error)) (query.Operator, error) {
+			li, err := src("lineitem")
+			if err != nil {
+				return nil, err
+			}
+			return workload.Q6(cfg, li, 0, 100, 0, 11, true)
+		}); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }
 
@@ -379,5 +400,15 @@ func runE5(cfg *sim.Config, s Scale) *Result {
 		"%v vs %v (%.1fx)", cl.pruned, cl.unpruned, ratio(cl.unpruned, cl.pruned))
 	r.check("pruning is a no-op on shuffled data", sh.pruned > sh.unpruned/2,
 		"%v vs %v", sh.pruned, sh.unpruned)
+	r.traceOp(cfg, "olap.q6-pruned", func(c *sim.Clock) {
+		d := workload.TPCH{ScaleRows: 10_000, Clustered: true, Seed: 3}.Generate()
+		op, err := workload.Q6(cfg, query.NewLocalSource(cfg, d.Lineitem), 1000, 1050, 0, 11, true)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := query.Collect(c, op); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }

@@ -94,6 +94,9 @@ func runE7(cfg *sim.Config, s Scale) *Result {
 		"%v vs %v — the counter-intuitive Exadata result", lRemote, lLegacy)
 	r.check("direct mapping is still fastest", lDirect < lRemote,
 		"%v vs %v", lDirect, lRemote)
+	r.traceOp(cfg, "pm.read4k-remote", func(c *sim.Clock) {
+		qp.Read(c, 0, buf)
+	})
 	return r
 }
 
@@ -158,5 +161,10 @@ func runE8(cfg *sim.Config, s Scale) *Result {
 	}
 	r.check("optimistic reads never return stale data", !stale && e.Repairs.Load() > 0,
 		"%d validations, %d repairs, zero stale results", e.Validations.Load(), e.Repairs.Load())
+	r.traceOp(cfg, "txn.write-pilotdb", func(c *sim.Clock) {
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(7, val)
+		})
+	})
 	return r
 }

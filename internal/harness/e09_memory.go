@@ -109,6 +109,12 @@ func runE9(cfg *sim.Config, s Scale) *Result {
 	t2.Row("classic ARIES (from storage)", slow)
 	r.check("remote-memory recovery ≫ faster", fast < slow/2,
 		"%v vs %v (%.0fx)", fast, slow, ratio(slow, fast))
+	r.traceOp(cfg, "txn.read-twotier", func(c *sim.Clock) {
+		engine.Run(twoTier, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			_, err := tx.Read(1)
+			return err
+		})
+	})
 	return r
 }
 
@@ -171,6 +177,11 @@ func runE10(cfg *sim.Config, s Scale) *Result {
 	sv.AddNode(rc, 32)
 	r.check("scale-out is metadata-only", rc.Now() < time.Millisecond,
 		"AddNode took %v, no pages moved", rc.Now())
+	r.traceOp(cfg, "txn.write-serverless", func(c *sim.Clock) {
+		engine.Run(sv, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(78, val)
+		})
+	})
 	return r
 }
 
@@ -320,6 +331,14 @@ func runE11(cfg *sim.Config, s Scale) *Result {
 	}()
 	r.check("LSM sustains higher write throughput than the B+tree", dlsm > bt,
 		"dLSM %.0f vs sherman %.0f puts/s", dlsm, bt)
+	r.traceOp(cfg, "index.put-sherman", func(c *sim.Clock) {
+		pool := memnode.New(cfg, "trace0", 1<<26)
+		tr, err := bptree.New(cfg, pool, bptree.Sherman())
+		if err != nil {
+			panic(err)
+		}
+		tr.Attach(1, nil).Put(c, 42, 42)
+	})
 	return r
 }
 
@@ -400,5 +419,14 @@ func runE12(cfg *sim.Config, s Scale) *Result {
 	r.check("remote memory pool prevents the SSD spill penalty",
 		tRemote < tSSD && tNone < tRemote,
 		"none %v < remote %v < ssd %v", tNone, tRemote, tSSD)
+	r.traceOp(cfg, "olap.q1-local", func(c *sim.Clock) {
+		op, err := workload.Q1(cfg, li, 2556)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := query.Collect(c, op); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }

@@ -107,6 +107,11 @@ func runE13(cfg *sim.Config, s Scale) *Result {
 	r.check("pushdown after dirty writes synchronizes on demand",
 		rc.DirtyCount() == 0 && dc.Now() > sc.Now(),
 		"sync of 1000 dirty words added %v", dc.Now()-sc.Now())
+	r.traceOp(cfg, "offload.pushsum", func(c *sim.Clock) {
+		if _, _, err := rc.PushFilterSum(c, qp, "pred", 0, 500, "val"); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }
 
@@ -157,6 +162,11 @@ func runE14(cfg *sim.Config, s Scale) *Result {
 		"%v vs %v", pipe.Now(), mat.Now())
 	r.check("offloaded stack beats pulling data", pipe.Now() < pull.Now()/2,
 		"%.1fx over pull (which moved %d rows)", ratio(pull.Now(), pipe.Now()), len(vals))
+	r.traceOp(cfg, "offload.stack", func(c *sim.Clock) {
+		if _, err := rc.RunStack(c, qp, stack, true); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }
 
@@ -245,6 +255,11 @@ func runE15(cfg *sim.Config, s Scale) *Result {
 	t3.Row("stored procedure (CompuCache)", offl.Now(), 1)
 	r.check("stored procedure collapses k RTTs to 1", offl.Now() < direct.Now()/3,
 		"%v vs %v", offl.Now(), direct.Now())
+	r.traceOp(cfg, "cache.chase", func(c *sim.Clock) {
+		if _, err := ch.Chase(c, cqp, 0, hops, true); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }
 
@@ -282,6 +297,11 @@ func runE16(cfg *sim.Config, s Scale) *Result {
 		"advantage grows %.1fx -> %.1fx from n=2 to n=32", gaps[0], gaps[len(gaps)-1])
 	r.check("order-of-magnitude improvement at scale", gaps[len(gaps)-1] >= 8,
 		"%.1fx at n=32", gaps[len(gaps)-1])
+	r.traceOp(cfg, "shuffle.direct-pair", func(c *sim.Clock) {
+		d := shuffle.NewDirect(cfg, 1)
+		d.Produce(c, 0, rowsFor(1, 64))
+		d.Consume(c, 0)
+	})
 	return r
 }
 

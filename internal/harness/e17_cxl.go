@@ -117,6 +117,14 @@ func runE17(cfg *sim.Config, s Scale) *Result {
 		"%.1f%% (prefetching hides CXL latency behind txn logic)", oltpDrop)
 	r.check("analytics drop lands in the 7-27% band", olapDrop >= 7 && olapDrop <= 27,
 		"%.1f%%", olapDrop)
+	r.traceOp(cfg, "cxl.row-read", func(c *sim.Clock) {
+		space := cxl.NewTieredSpace(cfg, 1<<20, 1<<20)
+		region, ok := space.Alloc(cxl.TierCXL, 4096)
+		if !ok {
+			panic("E17: trace alloc failed")
+		}
+		region.Read(c, 0, make([]byte, 256), true)
+	})
 	return r
 }
 
@@ -192,6 +200,10 @@ func runE19(cfg *sim.Config, s Scale) *Result {
 		"%d vs %d GB placed", pooledModel, noPool)
 	r.check("the model bounds disruption vs static pooling", slowModel < slowStatic,
 		"max slowdown %.0f%% vs %.0f%%", 100*slowModel, 100*slowStatic)
+	r.traceOp(cfg, "cxl.load64", func(c *sim.Clock) {
+		dev := cxl.NewDevice(cfg, 1<<20)
+		dev.Load(c, 0, make([]byte, 64))
+	})
 	return r
 }
 
@@ -261,5 +273,24 @@ func runE20(cfg *sim.Config, s Scale) *Result {
 		"%.0f -> %.0f txn/s from 1 to 16 writers", multi[0], multi[len(multi)-1])
 	r.check("multi-writer wins at scale", multi[len(multi)-1] > single[len(single)-1]*2,
 		"%.0f vs %.0f txn/s at 16 writers", multi[len(multi)-1], single[len(single)-1])
+	r.traceOp(cfg, "txn.locked-write", func(c *sim.Clock) {
+		pool := memnode.New(cfg, "dsm-trace", 1<<20)
+		dataBase, err := pool.Alloc(64)
+		if err != nil {
+			panic(err)
+		}
+		lockBase, err := pool.Alloc(1 << 10)
+		if err != nil {
+			panic(err)
+		}
+		locks := txn.NewRemoteLockTable(lockBase, 64)
+		qp := pool.Connect(nil)
+		if err := locks.Acquire(c, qp, 1, 0, txn.DefaultAcquire); err != nil {
+			panic(err)
+		}
+		var val [8]byte
+		qp.Write(c, dataBase, val[:])
+		locks.Unlock(c, qp, 1, 0)
+	})
 	return r
 }

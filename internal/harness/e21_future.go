@@ -69,6 +69,9 @@ func runE21(cfg *sim.Config, s Scale) *Result {
 	r.check("acting on a scale-out decision is cheap on disaggregation",
 		ac.Now() < time.Millisecond,
 		"8 nodes provisioned in %v of simulated time", ac.Now())
+	r.traceOp(cfg, "scaleout.addnode", func(c *sim.Clock) {
+		sv.AddNode(c, 16)
+	})
 	return r
 }
 
@@ -133,6 +136,15 @@ func runE22(cfg *sim.Config, s Scale) *Result {
 	qc := sim.NewClock()
 	query.Collect(qc, q6)
 	r.note("columnar Q6 beside the OLTP stream: %v (zone maps keep the scan off the hot pages)", qc.Now())
+	r.traceOp(cfg, "olap.q6-htap", func(c *sim.Clock) {
+		q, err := workload.Q6(cfg, src, 100, 200, 0, 11, true)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := query.Collect(c, q); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }
 
@@ -184,5 +196,12 @@ func runE23(cfg *sim.Config, s Scale) *Result {
 	r.check("results agree", serialValid == parValid, "%d vs %d txns", serialValid, parValid)
 	r.check("hot-key blocks form dependency chains", conflictLevels > 3,
 		"90%%-conflict block layers into %d levels (independent blocks: 1)", conflictLevels)
+	r.traceOp(cfg, "chain.commitblock", func(c *sim.Clock) {
+		pool := memnode.New(cfg, "world-trace", 64<<20)
+		v := flexchain.NewValidator(cfg, flexchain.NewState(cfg, pool, 16), 8)
+		if _, err := v.CommitBlock(c, mkBlock(99, 0), true); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }

@@ -196,5 +196,10 @@ func runE24(cfg *sim.Config, s Scale) *Result {
 		ares.TotalOps == allocWorkers*allocsEach && cs.Items == allocWorkers*allocsEach,
 		"%d/%d allocs, %d items batched", ares.TotalOps, allocWorkers*allocsEach, cs.Items)
 	r.note("batch telemetry comes from engine.Stats (GroupCommits/GroupFlushes/FlushOnSize/FlushOnTimeout) and sim.Registry batcher rows")
+	r.traceOp(cfg, "mem.coalesced-alloc", func(c *sim.Clock) {
+		if _, err := co.Alloc(c, 64); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }

@@ -340,5 +340,11 @@ func runE25(cfg *sim.Config, s Scale) *Result {
 	r.note("admission gate: shed when a substrate meter reaches rho > %.0f with >= %.0f%% of ops queued; retry budget %.0f%%; breaker %d consecutive unavailables, %v cooldown",
 		e25Gate.MaxUtil, 100*e25Gate.MinQueued, 10.0, 8, 2*time.Millisecond)
 	r.note("goodput = commits meeting a %dx steady-state SLO per virtual second; late commits count as work, not goodput", e25SLOMult)
+	r.traceOp(cfg, "txn.write-aurora", func(c *sim.Clock) {
+		e := au.build(cfg)
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, oltpLayout().ValSize))
+		})
+	})
 	return r
 }

@@ -360,5 +360,12 @@ func runE26(cfg *sim.Config, s Scale) *Result {
 
 	r.note("every verdict is over a fully recorded history (seed %d): each engine.Run call is one logical op with explicit retry lineage, commit stamps taken at the engine's durability point", e26Seed)
 	r.note("check = cycle search over the ww/wr/rw/so dependency graph, run in both version-order modes (per-key program order and commit stamps); cost is linear in ops+edges")
+	r.traceOp(cfg, "txn.write-recorded", func(c *sim.Clock) {
+		e := e26Engines()[0].build(cfg)
+		rec := history.NewRecorder()
+		engine.Run(e, c, engine.RunOpts{Record: rec, Session: 0}, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, oltpLayout().ValSize))
+		})
+	})
 	return r
 }

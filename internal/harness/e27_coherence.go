@@ -313,5 +313,11 @@ func runE27(cfg *sim.Config, s Scale) *Result {
 		batched.coh.Rounds, batched.coh.Publishes, batched.staleReads)
 
 	r.note("invalidations are charged one RDMA-RPC burst per round at site <engine>.coherence.round; bump-mode staleness costs a refetch instead")
+	r.traceOp(cfg, "txn.write-coherent", func(c *sim.Clock) {
+		e := au.build(cfg)
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, oltpLayout().ValSize))
+		})
+	})
 	return r
 }

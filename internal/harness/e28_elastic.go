@@ -365,5 +365,13 @@ func runE28(cfg *sim.Config, s Scale) *Result {
 	r.note("demand trace: autoscale.RampTrace over %d phases, peak %d concurrent clients; %d single-key writes per client per phase", steps, e28Peak, txns)
 	r.note("each member charges its calibrated-nominal compute per txn through its meter (processor sharing) — the finite resource a scale-out relieves; substrate legs bill their own meters as usual")
 	r.note("the reactive controller samples live fleet meters (autoscale.MeterSource) between phases; member attach/warm recovery time is charged to the virtual clock and shown per phase")
+	r.traceOp(cfg, "fleet.routed-write", func(c *sim.Clock) {
+		v := make([]byte, layout.ValSize)
+		if err := snF.Run(c, 7, cluster.RunOpts{RunOpts: engine.RunOpts{Retries: 8}}, func(tx engine.Tx) error {
+			return tx.Write(7, v)
+		}); err != nil {
+			panic(err)
+		}
+	})
 	return r
 }

@@ -323,5 +323,16 @@ func runE29(cfg *sim.Config, s Scale) *Result {
 	r.note("sweep: %d hot keys, single writer, %d..%d txns; checkpointed arms run one coordinator round every %d commits (capture horizon -> flush pages -> publish -> truncate)", e29Keys, base*mults[0], base*mults[len(mults)-1], ckptEvery)
 	r.note("the redo-class engines (monolithic, snowflake-kv, legobase) replay their retained log on Recover; log-as-database engines recover compute in O(1) and pay the unbounded cost in storage-node rebuild instead — measured by the substrate arm")
 	r.note("shared-nothing checkpoints per partition (its shard image is the recovery source) but does not implement Recoverer; its lifecycle is covered by the enginetest Recovery drills")
+	r.traceOp(cfg, "txn.write+ckpt", func(c *sim.Clock) {
+		e := roster[0].build()
+		engine.Run(e, c, engine.RunOpts{}, func(tx engine.Tx) error {
+			return tx.Write(1, make([]byte, layout.ValSize))
+		})
+		if caps := engine.Caps(e); caps.Checkpointer != nil {
+			if err := caps.Checkpointer.Checkpoint(c); err != nil {
+				panic(err)
+			}
+		}
+	})
 	return r
 }

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 29 {
-		t.Fatalf("registry has %d experiments, want 29 (E1-E20 claims + E21-E29 extensions)", len(all))
+	if len(all) != 30 {
+		t.Fatalf("registry has %d experiments, want 30 (E1-E20 claims + E21-E30 extensions)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -34,9 +34,13 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 // TestAllExperimentsPassAtQuickScale is the integration suite: every
-// experiment must reproduce its claimed shape.
+// experiment must reproduce its claimed shape. It runs with tracing on,
+// so each experiment must also record a representative span tree whose
+// root equals the op's end-to-end virtual latency (traceOp pins that
+// equality as a check).
 func TestAllExperimentsPassAtQuickScale(t *testing.T) {
 	cfg := sim.DefaultConfig()
+	cfg.Trace = true
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -44,6 +48,18 @@ func TestAllExperimentsPassAtQuickScale(t *testing.T) {
 			r := e.Run(cfg.Clone(), Quick)
 			if len(r.Checks) == 0 {
 				t.Fatalf("%s made no checks", e.ID)
+			}
+			if r.Trace == nil {
+				t.Fatalf("%s recorded no trace with cfg.Trace set", e.ID)
+			}
+			found := false
+			for _, c := range r.Checks {
+				if c.Name == "trace root equals end-to-end latency" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s did not pin the trace-root invariant", e.ID)
 			}
 			var buf bytes.Buffer
 			Render(&buf, r)

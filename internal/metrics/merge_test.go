@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistMergeEmptyIntoEmpty(t *testing.T) {
+	h := NewHist()
+	h.Merge(NewHist())
+	h.Merge(nil)
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("merging empties changed state: count %d max %v", h.Count(), h.Max())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty merged hist quantile = %v, want 0", q)
+	}
+}
+
+func TestHistMergeIntoEmpty(t *testing.T) {
+	o := NewHist()
+	o.Record(3 * time.Microsecond)
+	h := NewHist()
+	h.Merge(o)
+	if h.Count() != 1 || h.Max() != 3*time.Microsecond || h.Mean() != 3*time.Microsecond {
+		t.Fatalf("count %d max %v mean %v", h.Count(), h.Max(), h.Mean())
+	}
+	// Single sample: every quantile bounds it and clamps to the max.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3*time.Microsecond {
+			t.Fatalf("Quantile(%v) = %v, want the single sample", q, got)
+		}
+	}
+	// The source is unchanged.
+	if o.Count() != 1 {
+		t.Fatalf("merge mutated the source")
+	}
+}
+
+func TestHistMergeDisjointRanges(t *testing.T) {
+	lo := NewHist()
+	for i := 0; i < 90; i++ {
+		lo.Record(time.Microsecond)
+	}
+	hi := NewHist()
+	for i := 0; i < 10; i++ {
+		hi.Record(time.Millisecond)
+	}
+	m := NewHist()
+	m.Merge(lo)
+	m.Merge(hi)
+	if m.Count() != 100 {
+		t.Fatalf("count %d, want 100", m.Count())
+	}
+	if m.Max() != time.Millisecond {
+		t.Fatalf("max %v, want 1ms", m.Max())
+	}
+	wantMean := (90*time.Microsecond + 10*time.Millisecond) / 100
+	if m.Mean() != wantMean {
+		t.Fatalf("mean %v, want %v", m.Mean(), wantMean)
+	}
+	// p50 lands in the low range, p99 in the high range.
+	if q := m.Quantile(0.5); q < time.Microsecond || q >= time.Millisecond {
+		t.Fatalf("p50 = %v, want in the low range", q)
+	}
+	if q := m.Quantile(0.99); q < time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 1ms", q)
+	}
+}
+
+func TestHistMergeKeepsLargerMax(t *testing.T) {
+	h := NewHist()
+	h.Record(10 * time.Millisecond)
+	o := NewHist()
+	o.Record(time.Microsecond)
+	h.Merge(o)
+	if h.Max() != 10*time.Millisecond {
+		t.Fatalf("merge of a smaller max clobbered %v", h.Max())
+	}
+	o.Merge(h)
+	if o.Max() != 10*time.Millisecond {
+		t.Fatalf("merge did not raise max: %v", o.Max())
+	}
+}
+
+func TestHistMergeSelfDoubles(t *testing.T) {
+	// Degenerate but well-defined: self-merge doubles every counter.
+	h := NewHist()
+	h.Record(2 * time.Microsecond)
+	h.Merge(h)
+	if h.Count() != 2 || h.Mean() != 2*time.Microsecond {
+		t.Fatalf("self-merge: count %d mean %v", h.Count(), h.Mean())
+	}
+}

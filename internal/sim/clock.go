@@ -19,9 +19,10 @@ import (
 // Clock is a per-worker virtual clock. It is not safe for concurrent use;
 // each worker owns exactly one Clock.
 type Clock struct {
-	now   time.Duration
-	epoch int64
-	trace *Trace
+	now    time.Duration
+	epoch  int64
+	trace  *Trace
+	events EventSink
 }
 
 // NewClock returns a clock at virtual time zero.
@@ -66,6 +67,27 @@ func (c *Clock) SetTrace(t *Trace) { c.trace = t }
 
 // Trace returns the attached trace, if any.
 func (c *Clock) Trace() *Trace { return c.trace }
+
+// StartSpan opens a span at site in the clock's trace and returns it, or
+// nil when no trace is attached. It lets layers without a Config (e.g.
+// engine.Run's retry loop) bracket work the same way Config.Begin does;
+// close with FinishSpan.
+func (c *Clock) StartSpan(site string) *Span {
+	if c == nil || c.trace == nil {
+		return nil
+	}
+	return c.trace.push(site, c.now)
+}
+
+// FinishSpan closes a span opened by StartSpan, attributing everything the
+// clock accumulated since then to it. A nil span is a no-op, so the
+// StartSpan/FinishSpan pair is free when tracing is off.
+func (c *Clock) FinishSpan(sp *Span, bytes int64) {
+	if sp == nil || c == nil || c.trace == nil {
+		return
+	}
+	c.trace.pop(sp, c.now, bytes)
+}
 
 func (c *Clock) String() string {
 	return fmt.Sprintf("sim.Clock(%v)", c.now)

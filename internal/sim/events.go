@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+const (
+	// EvOp is a completed instrumented operation (Config.Begin/Op.End).
+	EvOp EventKind = iota
+	// EvFault is a fault-layer decision that altered an operation
+	// (drop, duplicate, torn append). Pure delays show up in the op's
+	// duration instead of as a separate event.
+	EvFault
+	// EvRetry is a transaction attempt that failed and is being retried
+	// by engine.Run (Note carries the error class).
+	EvRetry
+	// EvShed is an admission-control rejection (breaker open, shedder
+	// full, or retry budget exhausted).
+	EvShed
+	// EvCheckpoint is a checkpoint-coordinator round boundary.
+	EvCheckpoint
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvOp:
+		return "op"
+	case EvFault:
+		return "fault"
+	case EvRetry:
+		return "retry"
+	case EvShed:
+		return "shed"
+	case EvCheckpoint:
+		return "ckpt"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Event is one substrate occurrence on a worker's virtual timeline. Events
+// are emitted through the worker's Clock, so like the Clock itself they are
+// single-threaded: one worker, one clock, one sink.
+type Event struct {
+	T     time.Duration // virtual time of completion/decision
+	Kind  EventKind
+	Site  string        // site label, same taxonomy as fault/telemetry
+	Dur   time.Duration // for EvOp: elapsed virtual time of the op
+	Bytes int64         // for EvOp: payload moved
+	Note  string        // kind-specific detail ("drop", "conflict", ...)
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%12v %-5s %s", e.T, e.Kind, e.Site)
+	if e.Kind == EvOp {
+		s += fmt.Sprintf(" %v", e.Dur)
+		if e.Bytes > 0 {
+			s += fmt.Sprintf(" [%dB]", e.Bytes)
+		}
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// EventSink receives the events of one worker. Implementations need not be
+// concurrency-safe: a sink is attached to exactly one Clock.
+type EventSink interface {
+	Emit(Event)
+}
+
+// SetEvents attaches an event sink to the clock: subsequent instrumented
+// operations, fault decisions, retry/shed outcomes and checkpoint rounds on
+// this clock are emitted into s. Pass nil to detach. Like a Trace, a sink
+// must not be shared between clocks.
+func (c *Clock) SetEvents(s EventSink) { c.events = s }
+
+// Events returns the attached event sink, if any.
+func (c *Clock) Events() EventSink { return c.events }
+
+// Emit forwards an event to the clock's sink, if one is attached. It is
+// nil-safe and free when no sink is attached.
+func (c *Clock) Emit(e Event) {
+	if c != nil && c.events != nil {
+		c.events.Emit(e)
+	}
+}

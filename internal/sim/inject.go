@@ -44,7 +44,27 @@ func (c *Config) Inject(clk *Clock, site string) FaultOutcome {
 	if c.Fault == nil {
 		return FaultOutcome{}
 	}
-	return c.Fault.Inject(clk, site)
+	out := c.Fault.Inject(clk, site)
+	if clk != nil && clk.events != nil {
+		if note := out.note(); note != "" {
+			clk.events.Emit(Event{T: clk.now, Kind: EvFault, Site: site, Note: note})
+		}
+	}
+	return out
+}
+
+// note summarizes a non-clean outcome for the flight recorder ("" when the
+// operation proceeds normally; pure delay spikes are already on the clock).
+func (o FaultOutcome) note() string {
+	switch {
+	case o.Torn:
+		return "torn"
+	case o.Drop:
+		return "drop"
+	case o.Duplicate:
+		return "duplicate"
+	}
+	return ""
 }
 
 // FaultErr returns the outcome's error, defaulting to ErrInjected.

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveAccumulatesWithoutCharging(t *testing.T) {
+	m := NewMeter(1)
+	c := NewClock()
+	c.Advance(10 * time.Microsecond)
+	before := c.Now()
+	m.Observe(c, 4*time.Microsecond)
+	if c.Now() != before {
+		t.Fatalf("Observe advanced the clock %v -> %v", before, c.Now())
+	}
+	if m.Busy() != 4*time.Microsecond || m.TotalOps() != 1 {
+		t.Fatalf("busy %v ops %d, want 4µs/1", m.Busy(), m.TotalOps())
+	}
+	// Demand below capacity x elapsed: not queued.
+	if m.QueuedOps() != 0 {
+		t.Fatalf("under-utilized observe queued")
+	}
+	// Push demand past elapsed: the queued flag must trip.
+	m.Observe(c, 20*time.Microsecond)
+	if m.QueuedOps() != 1 {
+		t.Fatalf("over-utilized observe not queued (busy %v, elapsed %v)", m.Busy(), c.Now())
+	}
+}
+
+func TestObserveZeroAndNegativeAreNoOps(t *testing.T) {
+	m := NewMeter(1)
+	c := NewClock()
+	c.Advance(time.Microsecond)
+	m.Observe(c, 0)
+	m.Observe(c, -time.Microsecond)
+	if m.TotalOps() != 0 || m.Busy() != 0 {
+		t.Fatalf("non-positive observe accounted: ops %d busy %v", m.TotalOps(), m.Busy())
+	}
+}
+
+func TestObserveEpochRollsBusyForward(t *testing.T) {
+	m := NewMeter(1)
+	c := NewClock()
+	c.Advance(time.Millisecond)
+	m.Observe(c, 500*time.Microsecond)
+	if m.Busy() != 500*time.Microsecond {
+		t.Fatalf("busy %v", m.Busy())
+	}
+
+	// New experiment phase: the clock rewinds to zero in a new epoch. The
+	// old epoch's demand must not read as an instantaneous utilization
+	// spike against the tiny new elapsed time.
+	c.Reset()
+	c.Advance(10 * time.Microsecond)
+	m.Observe(c, time.Microsecond)
+	if m.Busy() != time.Microsecond {
+		t.Fatalf("stale-epoch busy survived the reset: %v", m.Busy())
+	}
+	if m.QueuedOps() != 0 {
+		t.Fatalf("fresh-epoch observe misread stale demand as congestion")
+	}
+}
+
+func TestChargeAndObserveShareEpochGuard(t *testing.T) {
+	m := NewMeter(1)
+	c := NewClock()
+	c.Advance(time.Millisecond)
+	m.Charge(c, 800*time.Microsecond)
+
+	c.Reset()
+	c.Advance(time.Microsecond)
+	before := c.Now()
+	// The first post-reset Observe clears the stale busy, so a subsequent
+	// Charge sees a fresh meter rather than a max-penalty spike.
+	m.Observe(c, time.Nanosecond)
+	d := m.Charge(c, time.Microsecond)
+	if d > 2*time.Microsecond {
+		t.Fatalf("post-reset charge stretched to %v by stale demand", d)
+	}
+	if c.Now() <= before {
+		t.Fatalf("charge did not advance the clock")
+	}
+}

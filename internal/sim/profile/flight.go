@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// FlightRecorder is a fixed-size ring buffer of recent substrate events —
+// the always-on black box a worker carries so that when an invariant
+// trips, the last moments before the failure are an inspectable timeline
+// rather than gone. It implements sim.EventSink. Like the Clock it is
+// attached to, a FlightRecorder is single-worker: not concurrency-safe.
+type FlightRecorder struct {
+	buf   []sim.Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewFlightRecorder returns a recorder retaining the last n events
+// (minimum 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{buf: make([]sim.Event, n)}
+}
+
+// Emit records one event, evicting the oldest when full.
+func (f *FlightRecorder) Emit(e sim.Event) {
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next, f.full = 0, true
+	}
+	f.total++
+}
+
+// Total reports how many events were ever emitted (retained or evicted).
+func (f *FlightRecorder) Total() int64 { return f.total }
+
+// Cap reports the ring capacity.
+func (f *FlightRecorder) Cap() int { return len(f.buf) }
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []sim.Event {
+	if !f.full {
+		out := make([]sim.Event, f.next)
+		copy(out, f.buf[:f.next])
+		return out
+	}
+	out := make([]sim.Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// String renders the retained timeline, one event per line.
+func (f *FlightRecorder) String() string {
+	evs := f.Events()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d retained of %d total\n", len(evs), f.total)
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Blackbox aggregates the flight recorders of a workload's workers so a
+// test harness can dump every timeline on an invariant failure. Recorder
+// registration is concurrency-safe (workers start under RunGroup); each
+// returned recorder itself stays single-worker.
+type Blackbox struct {
+	mu   sync.Mutex
+	labs []string
+	recs []*FlightRecorder
+}
+
+// NewBlackbox returns an empty aggregator.
+func NewBlackbox() *Blackbox { return &Blackbox{} }
+
+// Recorder creates, registers and returns a labeled recorder retaining n
+// events.
+func (b *Blackbox) Recorder(label string, n int) *FlightRecorder {
+	f := NewFlightRecorder(n)
+	b.mu.Lock()
+	b.labs = append(b.labs, label)
+	b.recs = append(b.recs, f)
+	b.mu.Unlock()
+	return f
+}
+
+// Size reports the number of registered recorders.
+func (b *Blackbox) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Dump renders every recorder's timeline. Call only after the workers
+// have stopped (recorders are not concurrency-safe).
+func (b *Blackbox) Dump() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sb strings.Builder
+	for i, f := range b.recs {
+		fmt.Fprintf(&sb, "--- %s ---\n", b.labs[i])
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,324 @@
+// Package profile turns the raw telemetry brackets of internal/sim (span
+// trees, per-site histograms, flight events) into answers to the questions
+// the paper keeps asking: which substrate actually dominates an engine's
+// end-to-end latency, what did the slowest transactions spend their time
+// on, and is the engine burning its latency SLO.
+//
+// The model makes critical-path analysis exact rather than heuristic: a
+// worker is one Clock, so a transaction's span tree is strictly sequential
+// — every nanosecond of the root span's duration lies in exactly one
+// span's exclusive self-time. Attributing each span's self-time to its
+// site's component therefore telescopes: the component shares sum to the
+// end-to-end latency identically (conservation), with no sampling error.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/disagglab/disagg/internal/metrics"
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Residual is the component holding virtual time not bracketed by any
+// instrumented site: local compute between substrate calls, meter queueing
+// charged outside a bracket, and retry-loop overhead.
+const Residual = "residual"
+
+// KnownComponents is the closed set of substrate components attribution
+// can produce. The site-label lint fails any registry site whose component
+// is not in this set, so label drift cannot silently mis-attribute.
+func KnownComponents() []string {
+	return []string{
+		"backoff",    // engine.Run retry backoff waits
+		"checkpoint", // ckpt.<engine>.{flush,truncate}
+		"coherence",  // <engine>.coherence.{round,...} invalidation fan-out
+		"device",     // dram/pm/ssd/obj/cxl media access
+		"memnode",    // memory-node allocator RPCs
+		"raft",       // log replication consensus
+		"rdma",       // one-sided/two-sided fabric verbs
+		Residual,
+		"storage", // logstore/replica/volume storage-node services
+		"tcp",     // TCP request/response legs and 2PC fan-out rounds
+	}
+}
+
+// Component maps a site label to its substrate component. Unknown heads
+// map to themselves so new subsystems show up (and fail the lint) rather
+// than vanish into a catch-all.
+func Component(site string) string {
+	if strings.Contains(site, ".coherence") {
+		return "coherence"
+	}
+	head := site
+	if i := strings.IndexByte(site, '.'); i >= 0 {
+		head = site[:i]
+	}
+	switch head {
+	case "dram", "pm", "ssd", "obj", "cxl":
+		return "device"
+	case "logstore", "replica", "volume":
+		return "storage"
+	case "ckpt":
+		return "checkpoint"
+	}
+	return head
+}
+
+// LintSite checks a site label against the `<component>.<op>` taxonomy:
+// lowercase dotted segments, at least two, and a component from
+// KnownComponents (the single-segment "backoff" span site is also
+// accepted). It returns nil for conforming labels.
+func LintSite(site string) error {
+	if site == "backoff" {
+		return nil
+	}
+	segs := strings.Split(site, ".")
+	if len(segs) < 2 {
+		return fmt.Errorf("site %q: want <component>.<op>", site)
+	}
+	for _, s := range segs {
+		if s == "" {
+			return fmt.Errorf("site %q: empty segment", site)
+		}
+		for _, r := range s {
+			if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+				return fmt.Errorf("site %q: segment %q has non [a-z0-9_-] rune %q", site, s, r)
+			}
+		}
+	}
+	comp := Component(site)
+	for _, k := range KnownComponents() {
+		if comp == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("site %q: component %q not in known set %v", site, comp, KnownComponents())
+}
+
+// Attribution is an end-to-end latency broken down by substrate component.
+// By construction Sum() == Total exactly (see package comment); consumers
+// that re-derive Total from merged sources should still tolerate rounding.
+type Attribution struct {
+	Total time.Duration
+	Comp  map[string]time.Duration
+}
+
+// Sum adds up the per-component shares.
+func (a Attribution) Sum() time.Duration {
+	var s time.Duration
+	for _, d := range a.Comp {
+		s += d
+	}
+	return s
+}
+
+// Share reports component c's fraction of Total (0 when Total is 0).
+func (a Attribution) Share(c string) float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Comp[c]) / float64(a.Total)
+}
+
+// Dominant returns the component with the largest share (ties broken
+// alphabetically, "" when empty).
+func (a Attribution) Dominant() string {
+	var best string
+	var bestD time.Duration = -1
+	for _, c := range sortedComps(a.Comp) {
+		if d := a.Comp[c]; d > bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func sortedComps(m map[string]time.Duration) []string {
+	cs := make([]string, 0, len(m))
+	for c := range m {
+		cs = append(cs, c)
+	}
+	sort.Strings(cs)
+	return cs
+}
+
+// add folds o into a.
+func (a *Attribution) add(o Attribution) {
+	a.Total += o.Total
+	if a.Comp == nil {
+		a.Comp = map[string]time.Duration{}
+	}
+	for c, d := range o.Comp {
+		a.Comp[c] += d
+	}
+}
+
+// Analyze walks a span tree and attributes the root's end-to-end duration
+// to components by exclusive self-time. The root span itself carries no
+// site cost — its self-time is the Residual component.
+func Analyze(root *sim.Span) Attribution {
+	a := Attribution{Comp: map[string]time.Duration{}}
+	if root == nil {
+		return a
+	}
+	a.Total = root.Duration()
+	var walk func(sp *sim.Span, comp string)
+	walk = func(sp *sim.Span, comp string) {
+		self := sp.Duration()
+		for _, ch := range sp.Children {
+			self -= ch.Duration()
+			walk(ch, Component(ch.Site))
+		}
+		a.Comp[comp] += self
+	}
+	walk(root, Residual)
+	return a
+}
+
+// Profiler aggregates per-transaction attributions for one engine: the
+// running component breakdown, a latency histogram, the top-k slowest
+// exemplar span trees, and (optionally) an SLO burn tracker. It is safe
+// for concurrent use by the workers of a RunGroup; each transaction is
+// profiled on its own worker's clock and folded in under a mutex at End.
+type Profiler struct {
+	Name string
+
+	mu   sync.Mutex
+	attr Attribution
+	txns int64
+	res  *Reservoir
+	slo  *SLOTracker
+	hist *metrics.Hist
+}
+
+// NewProfiler returns a profiler retaining the k slowest transaction
+// traces as exemplars.
+func NewProfiler(name string, k int) *Profiler {
+	return &Profiler{Name: name, res: NewReservoir(k), hist: metrics.NewHist()}
+}
+
+// SetSLO attaches a latency objective; subsequent transactions feed its
+// burn-rate windows.
+func (p *Profiler) SetSLO(s SLO) {
+	p.mu.Lock()
+	p.slo = NewSLOTracker(s)
+	p.mu.Unlock()
+}
+
+// SLO returns the attached tracker (nil if none).
+func (p *Profiler) SLO() *SLOTracker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slo
+}
+
+// Txn is an in-flight profiled transaction. The zero value is inert, so
+// callers can unconditionally End a Txn from a nil Profiler.
+type Txn struct {
+	p    *Profiler
+	prev *sim.Trace
+	root *sim.Span
+	c    *sim.Clock
+}
+
+// Begin starts profiling one transaction on the worker's clock: it swaps
+// in a fresh trace (saving any attached one) and opens the root "txn"
+// span. Safe on a nil Profiler — returns an inert Txn.
+func (p *Profiler) Begin(c *sim.Clock) Txn {
+	if p == nil || c == nil {
+		return Txn{}
+	}
+	t := Txn{p: p, prev: c.Trace(), c: c}
+	tr := sim.NewTrace("txn")
+	c.SetTrace(tr)
+	t.root = c.StartSpan("txn")
+	return t
+}
+
+// End closes the transaction's root span, restores the clock's previous
+// trace, and folds the attribution, exemplar and SLO observation into the
+// profiler. err reports the transaction's final outcome.
+func (t Txn) End(err error) {
+	if t.p == nil {
+		return
+	}
+	c := t.c
+	c.FinishSpan(t.root, 0)
+	c.SetTrace(t.prev)
+	a := Analyze(t.root)
+	p := t.p
+	p.mu.Lock()
+	p.txns++
+	seq := p.txns
+	p.attr.add(a)
+	p.res.Offer(Exemplar{Seq: seq, Start: t.root.Start, Dur: t.root.Duration(), Err: errString(err), Root: t.root})
+	if p.slo != nil {
+		p.slo.Observe(c.Now(), t.root.Duration(), err == nil)
+	}
+	p.mu.Unlock()
+	p.hist.Record(t.root.Duration())
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Txns reports the number of transactions profiled.
+func (p *Profiler) Txns() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txns
+}
+
+// Attribution returns a copy of the aggregate breakdown.
+func (p *Profiler) Attribution() Attribution {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cp := Attribution{Total: p.attr.Total, Comp: make(map[string]time.Duration, len(p.attr.Comp))}
+	for c, d := range p.attr.Comp {
+		cp.Comp[c] = d
+	}
+	return cp
+}
+
+// Hist returns the transaction latency histogram.
+func (p *Profiler) Hist() *metrics.Hist { return p.hist }
+
+// Exemplars returns the retained slowest transactions, slowest first.
+func (p *Profiler) Exemplars() []Exemplar {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.res.Exemplars()
+}
+
+// String renders the attribution as "comp share, comp share, ..." ordered
+// by descending share.
+func (a Attribution) String() string {
+	type cs struct {
+		c string
+		d time.Duration
+	}
+	rows := make([]cs, 0, len(a.Comp))
+	for _, c := range sortedComps(a.Comp) {
+		rows = append(rows, cs{c, a.Comp[c]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", r.c, 100*a.Share(r.c))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/disagglab/disagg/internal/sim"
+)
+
+// Exemplar is one retained slow transaction: its full span tree plus
+// enough metadata to order and replay it. Seq is the profiler's admission
+// counter, which makes ordering deterministic under the virtual clock even
+// when several transactions share a duration and start time.
+type Exemplar struct {
+	Seq   int64
+	Start time.Duration // virtual start on its worker's clock
+	Dur   time.Duration
+	Err   string // final outcome, "" for commit
+	Root  *sim.Span
+}
+
+// Reservoir retains the top-k slowest exemplars with bounded memory. It is
+// not concurrency-safe; Profiler serializes access under its mutex.
+type Reservoir struct {
+	k  int
+	xs []Exemplar // sorted: slowest first
+}
+
+// NewReservoir returns a reservoir keeping the k slowest offers (k <= 0
+// keeps none).
+func NewReservoir(k int) *Reservoir { return &Reservoir{k: k} }
+
+// Offer considers one transaction for retention. Ordering is by duration
+// descending, then start ascending, then seq ascending, so the retained
+// set is a deterministic function of the offered set.
+func (r *Reservoir) Offer(x Exemplar) {
+	if r.k <= 0 {
+		return
+	}
+	if len(r.xs) == r.k && !less(x, r.xs[len(r.xs)-1]) {
+		return // faster than (or tied with) the current k-th slowest
+	}
+	i := sort.Search(len(r.xs), func(i int) bool { return less(x, r.xs[i]) })
+	r.xs = append(r.xs, Exemplar{})
+	copy(r.xs[i+1:], r.xs[i:])
+	r.xs[i] = x
+	if len(r.xs) > r.k {
+		r.xs = r.xs[:r.k]
+	}
+}
+
+// less orders exemplars for retention: slower wins, earlier start breaks
+// ties, lower seq breaks remaining ties.
+func less(a, b Exemplar) bool {
+	if a.Dur != b.Dur {
+		return a.Dur > b.Dur
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Seq < b.Seq
+}
+
+// Len reports how many exemplars are retained.
+func (r *Reservoir) Len() int { return len(r.xs) }
+
+// Exemplars returns the retained set, slowest first.
+func (r *Reservoir) Exemplars() []Exemplar {
+	out := make([]Exemplar, len(r.xs))
+	copy(out, r.xs)
+	return out
+}
+
+// String renders one line per exemplar with its dominant component, plus
+// the slowest exemplar's full span tree.
+func (r *Reservoir) String() string {
+	var b strings.Builder
+	for i, x := range r.xs {
+		a := Analyze(x.Root)
+		outcome := x.Err
+		if outcome == "" {
+			outcome = "commit"
+		}
+		fmt.Fprintf(&b, "#%d  dur %v  start %v  %s  [%s]\n", i+1, x.Dur, x.Start, outcome, a.String())
+	}
+	if len(r.xs) > 0 {
+		b.WriteString("slowest span tree:\n")
+		b.WriteString(spanString(r.xs[0].Root))
+	}
+	return b.String()
+}
+
+func spanString(sp *sim.Span) string {
+	var b strings.Builder
+	var walk func(s *sim.Span, depth int)
+	walk = func(s *sim.Span, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s  %v", s.Site, s.Duration())
+		if s.Bytes > 0 {
+			fmt.Fprintf(&b, "  [%dB]", s.Bytes)
+		}
+		b.WriteByte('\n')
+		for _, ch := range s.Children {
+			walk(ch, depth+1)
+		}
+	}
+	if sp != nil {
+		walk(sp, 0)
+	}
+	return b.String()
+}

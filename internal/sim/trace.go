@@ -117,9 +117,10 @@ type Op struct {
 // Begin starts an observed operation at site on the worker's clock. It
 // opens a trace span if the clock has a trace attached, and arranges for
 // the elapsed virtual time and byte count to be recorded in the config's
-// stats registry at End. Safe with nil clock/config pieces.
+// stats registry — and an EvOp event in the clock's sink — at End. Safe
+// with nil clock/config pieces.
 func (c *Config) Begin(clk *Clock, site string) Op {
-	if clk == nil || c == nil || (c.Stats == nil && clk.trace == nil) {
+	if clk == nil || c == nil || (c.Stats == nil && clk.trace == nil && clk.events == nil) {
 		return Op{}
 	}
 	op := Op{c: clk, reg: c.Stats, site: site, start: clk.now}
@@ -143,5 +144,8 @@ func (o Op) End(bytes int64) {
 	}
 	if o.reg != nil {
 		o.reg.Observe(o.site, now-o.start, bytes, now)
+	}
+	if o.c.events != nil {
+		o.c.events.Emit(Event{T: now, Kind: EvOp, Site: o.site, Dur: now - o.start, Bytes: bytes})
 	}
 }

@@ -164,7 +164,11 @@ func (lt *LockTable) Acquire(c *sim.Clock, tx uint64, key uint64, m Mode, o Acqu
 		if i >= o.Retries {
 			return ErrDeadlock
 		}
+		// Lock-wait backoff is critical-path time; bracket it so the
+		// profiler attributes it instead of folding it into residual.
+		sp := c.StartSpan("backoff")
 		c.Advance(o.Backoff * time.Duration(i+1))
+		c.FinishSpan(sp, 0)
 		runtime.Gosched()
 	}
 }
@@ -227,7 +231,9 @@ func (r *RemoteLockTable) Acquire(c *sim.Clock, qp *rdma.QP, tx uint64, key uint
 		if i >= o.Retries {
 			return ErrDeadlock
 		}
+		sp := c.StartSpan("backoff")
 		c.Advance(o.Backoff * time.Duration(i+1))
+		c.FinishSpan(sp, 0)
 		runtime.Gosched()
 	}
 }
